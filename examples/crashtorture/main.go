@@ -1,0 +1,143 @@
+// Crashtorture demonstrates crash consistency the way the engine's test
+// suite proves it: a bank-transfer workload is killed at every single
+// persistence point, and after each simulated power failure the reopened
+// pool must show a constant total balance — transfers are all-or-nothing.
+//
+//	go run ./examples/crashtorture
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pangolin-go/pangolin"
+)
+
+type account struct {
+	Balance uint64
+}
+
+type bank struct {
+	Accounts [8]pangolin.OID
+}
+
+const initialBalance = 1000
+
+// crashSignal unwinds the goroutine at the chosen persistence point.
+type crashSignal struct{}
+
+func main() {
+	totalChecked := 0
+	for crashAt := 1; ; crashAt++ {
+		crashed, done := runOnce(crashAt)
+		totalChecked++
+		if !crashed && done {
+			fmt.Printf("swept %d crash points; every recovery preserved the total balance\n", totalChecked)
+			return
+		}
+		if crashAt > 5000 {
+			log.Fatal("sweep did not terminate")
+		}
+	}
+}
+
+// runOnce builds a bank, then crashes the transfer transaction at the
+// crashAt-th flush/fence and validates recovery.
+func runOnce(crashAt int) (crashed, completed bool) {
+	pool, err := pangolin.Create(pangolin.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := pangolin.Root[bank](pool, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = pool.Run(func(tx *pangolin.Tx) error {
+		b, err := pangolin.Open[bank](tx, root)
+		if err != nil {
+			return err
+		}
+		for i := range b.Accounts {
+			oid, acct, err := pangolin.Alloc[account](tx, 2)
+			if err != nil {
+				return err
+			}
+			acct.Balance = initialBalance
+			b.Accounts[i] = oid
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Arm the crash: panic at the crashAt-th persistence operation.
+	count := 0
+	pool.Device().SetPersistHook(func() {
+		count++
+		if count == crashAt {
+			panic(crashSignal{})
+		}
+	})
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		// Transfer 250 from account 0 to account 7 — a multi-object
+		// transaction that must be atomic.
+		err := pool.Run(func(tx *pangolin.Tx) error {
+			b, err := pangolin.Get[bank](tx, root)
+			if err != nil {
+				return err
+			}
+			from, err := pangolin.Open[account](tx, b.Accounts[0])
+			if err != nil {
+				return err
+			}
+			to, err := pangolin.Open[account](tx, b.Accounts[7])
+			if err != nil {
+				return err
+			}
+			from.Balance -= 250
+			to.Balance += 250
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		completed = true
+	}()
+	pool.Device().SetPersistHook(nil)
+
+	// Power fails now. Reopen and audit.
+	img := pool.Device().CrashCopy(pangolin.CrashEvictRandom, int64(crashAt))
+	pool.Close()
+	pool2, err := pangolin.OpenDevice(img, pangolin.DefaultConfig(), nil)
+	if err != nil {
+		log.Fatalf("crashAt=%d: reopen: %v", crashAt, err)
+	}
+	defer pool2.Close()
+	b, err := pangolin.GetFromPool[bank](pool2, root)
+	if err != nil {
+		log.Fatalf("crashAt=%d: root: %v", crashAt, err)
+	}
+	total := uint64(0)
+	for _, oid := range b.Accounts {
+		acct, err := pangolin.GetFromPool[account](pool2, oid)
+		if err != nil {
+			log.Fatalf("crashAt=%d: account: %v", crashAt, err)
+		}
+		total += acct.Balance
+	}
+	if total != 8*initialBalance {
+		log.Fatalf("crashAt=%d: money %s! total=%d want %d",
+			crashAt, map[bool]string{true: "created", false: "destroyed"}[total > 8*initialBalance],
+			total, 8*initialBalance)
+	}
+	return crashed, completed
+}

@@ -1,0 +1,169 @@
+// Kvstore is a persistent key-value store CLI backed by the hashmap
+// structure, with the pool saved to a snapshot file between runs — the
+// application shape the paper's §4.5 evaluation models.
+//
+//	go run ./examples/kvstore -pool /tmp/kv.pgl set lang pangolin
+//	go run ./examples/kvstore -pool /tmp/kv.pgl get lang
+//	go run ./examples/kvstore -pool /tmp/kv.pgl del lang
+//	go run ./examples/kvstore -pool /tmp/kv.pgl stats
+//
+// Keys and values are strings up to 8 bytes, packed into the uint64 keys
+// the structures use (a real application would store string objects; the
+// packing keeps the example focused on the library).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/hashmap"
+)
+
+// dirRoot is the pool root: it remembers the hashmap anchor across runs.
+type dirRoot struct {
+	MapAnchor pangolin.OID
+}
+
+func pack(s string) (uint64, error) {
+	if len(s) > 8 {
+		return 0, fmt.Errorf("%q longer than 8 bytes", s)
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		v |= uint64(s[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func unpack(v uint64) string {
+	b := make([]byte, 0, 8)
+	for i := 0; i < 8; i++ {
+		c := byte(v >> (8 * i))
+		if c == 0 {
+			break
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+func main() {
+	poolPath := flag.String("pool", "/tmp/pangolin-kv.pgl", "pool snapshot file")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: kvstore [-pool file] {set k v | get k | del k | stats}")
+		os.Exit(2)
+	}
+	cfg := pangolin.DefaultConfig()
+
+	var pool *pangolin.Pool
+	if _, err := os.Stat(*poolPath); err == nil {
+		pool, err = pangolin.LoadFile(*poolPath, cfg)
+		if err != nil {
+			log.Fatalf("opening pool: %v", err)
+		}
+	} else {
+		var err error
+		pool, err = pangolin.Create(cfg)
+		if err != nil {
+			log.Fatalf("creating pool: %v", err)
+		}
+	}
+	defer pool.Close()
+
+	root, err := pangolin.Root[dirRoot](pool, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := pangolin.GetFromPool[dirRoot](pool, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *hashmap.Map
+	if dir.MapAnchor.IsNil() {
+		m, err = hashmap.New(pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anchor := m.Anchor()
+		err = pool.Run(func(tx *pangolin.Tx) error {
+			d, err := pangolin.Open[dirRoot](tx, root)
+			if err != nil {
+				return err
+			}
+			d.MapAnchor = anchor
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		m, err = hashmap.Attach(pool, dir.MapAnchor)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch flag.Arg(0) {
+	case "set":
+		if flag.NArg() != 3 {
+			log.Fatal("set needs key and value")
+		}
+		k, err := pack(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := pack(flag.Arg(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Insert(k, v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("set %q = %q\n", flag.Arg(1), flag.Arg(2))
+	case "get":
+		k, err := pack(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, ok, err := m.Lookup(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("%q not found\n", flag.Arg(1))
+			os.Exit(1)
+		}
+		fmt.Printf("%q = %q\n", flag.Arg(1), unpack(v))
+	case "del":
+		k, err := pack(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, err := m.Remove(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deleted %q: %v\n", flag.Arg(1), ok)
+	case "stats":
+		n, err := m.Len()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := pool.Stats()
+		fmt.Printf("keys: %d\ncommits: %d\nlogged bytes: %d\nµ-buffer high-water: %d B\n",
+			n, st.Commits.Load(), st.LoggedBytes.Load(), st.MBufHighWater.Load())
+		if rep, err := pool.Scrub(); err == nil {
+			fmt.Printf("scrub: %d objects verified, %d repaired\n", rep.Objects, rep.Repaired)
+		}
+	default:
+		log.Fatalf("unknown command %q", flag.Arg(0))
+	}
+
+	if err := pool.SaveFile(*poolPath); err != nil {
+		log.Fatalf("saving pool: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{
+		Ops:            20,
+		KVOps:          150,
+		Threads:        []int{1, 2},
+		Sizes:          []uint64{64, 1024},
+		ScrubIntervals: []uint64{100},
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"alloc", "overwrite", "free", "Pangolin-MLPC", "Pmemobj-R"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "threads") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"ctree", "rbtree", "btree", "skiplist", "rtree", "hashmap"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("missing %s:\n%s", s, out)
+		}
+	}
+}
+
+func TestFig6AndTable4Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Conservative") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Table4(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Pmemobj") || !strings.Contains(out, "1.00") {
+		t.Fatalf("table4 output:\n%s", out)
+	}
+	// Conservative mode must report zero vulnerability for every
+	// structure.
+	lines := strings.Split(out, "\n")
+	foundCons := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Conservative") {
+			foundCons = true
+			if strings.Contains(l, "0.00") == false {
+				t.Fatalf("conservative row not zero: %s", l)
+			}
+		}
+	}
+	if !foundCons {
+		t.Fatal("no Conservative row")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	if !strings.Contains(buf.String(), "Pangolin-MLP") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "insert") || !strings.Contains(out, "remove") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestMemSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Mem(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "zone parity") || !strings.Contains(out, "pool init") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRecoverSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Recover(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"media-error page repair", "scribble", "canary", "scrub"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestXoverSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Xover(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crossover") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestExtSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ext(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Pmemobj-P") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

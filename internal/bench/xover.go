@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/pangolin-go/pangolin/internal/layout"
+	"github.com/pangolin-go/pangolin/internal/nvm"
+	"github.com/pangolin-go/pangolin/internal/parity"
+)
+
+// Xover is the ablation behind the hybrid parity scheme (§3.5/§4.1): the
+// latency of a parity update via atomic per-word XOR (shared range-lock)
+// versus vectorized XOR (exclusive lock) as the patch size grows. The
+// paper measured the crossover at 8 KB on Optane and set that as the
+// switch threshold; this regenerates the sweep so the threshold can be
+// re-derived for the simulated substrate.
+func Xover(w io.Writer, cfg Config) error {
+	geo := layout.Default()
+	t := &Table{Header: []string{"patch(B)", "atomic us/op", "vectorized us/op", "faster"}}
+	var crossover uint64
+	iters := cfg.Ops * 4
+	for _, size := range []uint64{256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		if size > geo.RowSize() {
+			break
+		}
+		atomic := xoverCell(geo, size, 1<<60, iters) // threshold ∞: always atomic
+		vector := xoverCell(geo, size, 1, iters)     // threshold 1: always vectorized
+		faster := "atomic"
+		if vector < atomic {
+			faster = "vectorized"
+			if crossover == 0 {
+				crossover = size
+			}
+		}
+		t.Add(fmt.Sprintf("%d", size), fmtNs(atomic, iters), fmtNs(vector, iters), faster)
+	}
+	fmt.Fprintf(w, "\nHybrid parity crossover sweep (paper threshold: 8 KB)\n")
+	t.Print(w)
+	if crossover != 0 {
+		fmt.Fprintf(w, "measured crossover on this substrate: ~%d B\n", crossover)
+	} else {
+		fmt.Fprintf(w, "atomic XOR stayed faster through the sweep on this substrate\n")
+	}
+	return nil
+}
+
+func xoverCell(geo layout.Geometry, size uint64, threshold int, iters int) time.Duration {
+	dev := nvm.New(geo.PoolSize(), nvm.Options{TrackPersistence: true})
+	p := parity.New(dev, geo, threshold)
+	delta := make([]byte, size)
+	for i := range delta {
+		delta[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		p.Update(0, uint64(i)%(geo.RowSize()-size), delta)
+		dev.Fence()
+	}
+	return time.Since(start)
+}

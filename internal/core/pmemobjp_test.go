@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pangolin-go/pangolin/internal/layout"
+	"github.com/pangolin-go/pangolin/internal/nvm"
+)
+
+// TestPmemobjPOfflineRepair: the §3.5 extension repairs a lost page from
+// parity at pool open — 1% space instead of Pmemobj-R's 100% — but not
+// online (direct writes make live parity reconstruction unsafe).
+func TestPmemobjPOfflineRepair(t *testing.T) {
+	e := mkEngine(t, PmemobjP)
+	var oid layout.OID
+	if err := e.Run(func(tx *Tx) error {
+		var err error
+		var data []byte
+		oid, data, err = tx.Alloc(500, 1)
+		if err != nil {
+			return err
+		}
+		copy(data, "parity-protected undo system")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	verifyParity(t, e)
+	e.InjectMediaError(oid.Off)
+	// Online access fails with a reopen demand.
+	if _, err := e.Get(oid); err == nil {
+		t.Fatal("Pmemobj-P recovered online; direct-write modes must not")
+	}
+	// Offline (open-time) recovery restores the page from parity.
+	e2 := reopenEngine(t, e, false, 0)
+	got, err := e2.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:6]) != "parity" {
+		t.Fatalf("restored %q", got[:6])
+	}
+	verifyParity(t, e2)
+}
+
+// TestPmemobjPParityAfterOverlappingRanges: overlapping AddRange calls
+// must not double-apply parity patches (the snapshot dedupe property).
+func TestPmemobjPParityAfterOverlappingRanges(t *testing.T) {
+	e := mkEngine(t, PmemobjP)
+	var oid layout.OID
+	if err := e.Run(func(tx *Tx) error {
+		var err error
+		oid, _, err = tx.Alloc(256, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(func(tx *Tx) error {
+		// Three overlapping ranges, written between declarations.
+		data, err := tx.AddRange(oid, 0, 100)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			data[i] = 1
+		}
+		if _, err := tx.AddRange(oid, 50, 100); err != nil {
+			return err
+		}
+		for i := 50; i < 150; i++ {
+			data[i] = 2
+		}
+		if _, err := tx.AddRange(oid, 0, 256); err != nil {
+			return err
+		}
+		for i := 150; i < 256; i++ {
+			data[i] = 3
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	verifyParity(t, e)
+	got, err := e.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[60] != 2 || got[200] != 3 {
+		t.Fatalf("data wrong: %d %d %d", got[0], got[60], got[200])
+	}
+}
+
+// TestPmemobjPAbortKeepsParity: rolling back restores both the data and
+// the parity invariant (no patches were applied before commit).
+func TestPmemobjPAbortKeepsParity(t *testing.T) {
+	e := mkEngine(t, PmemobjP)
+	var oid layout.OID
+	if err := e.Run(func(tx *Tx) error {
+		var err error
+		var data []byte
+		oid, data, err = tx.Alloc(128, 1)
+		if err != nil {
+			return err
+		}
+		copy(data, "committed")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tx.AddRange(oid, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "scratched")
+	// Also an aborted allocation with its init writes.
+	if _, _, err := tx.Alloc(64, 2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	verifyParity(t, e)
+	got, err := e.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:9]) != "committed" {
+		t.Fatalf("rollback failed: %q", got[:9])
+	}
+}
+
+// TestSnapshotIntervalLogic exercises the covered-interval helpers
+// directly.
+func TestSnapshotIntervalLogic(t *testing.T) {
+	var covered []span
+	sub := func(off, n uint64) []span { return subtractCovered(covered, span{off, n}) }
+	if got := sub(10, 5); len(got) != 1 || got[0] != (span{10, 5}) {
+		t.Fatalf("empty covered: %+v", got)
+	}
+	covered = insertSpan(covered, span{10, 5}) // [10,15)
+	if got := sub(10, 5); len(got) != 0 {
+		t.Fatalf("fully covered: %+v", got)
+	}
+	if got := sub(8, 10); len(got) != 2 || got[0] != (span{8, 2}) || got[1] != (span{15, 3}) {
+		t.Fatalf("straddling: %+v", got)
+	}
+	covered = insertSpan(covered, span{20, 5}) // [10,15) [20,25)
+	if got := sub(12, 10); len(got) != 1 || got[0] != (span{15, 5}) {
+		t.Fatalf("between: %+v", got)
+	}
+	covered = insertSpan(covered, span{15, 5}) // merge → [10,25)
+	if len(covered) != 1 || covered[0] != (span{10, 15}) {
+		t.Fatalf("merge failed: %+v", covered)
+	}
+	// Adjacent-left merge.
+	covered = insertSpan(covered, span{5, 5})
+	if len(covered) != 1 || covered[0] != (span{5, 20}) {
+		t.Fatalf("left merge failed: %+v", covered)
+	}
+	// Disjoint insert stays sorted.
+	covered = insertSpan(covered, span{100, 1})
+	covered = insertSpan(covered, span{50, 1})
+	if len(covered) != 3 || covered[1] != (span{50, 1}) {
+		t.Fatalf("sorted insert failed: %+v", covered)
+	}
+}
+
+// TestPmemobjPCrashDuringParityUpdates crashes inside the commit's parity
+// phase; open-time rollback must recompute parity for the touched
+// columns.
+func TestPmemobjPCrashDuringParityUpdates(t *testing.T) {
+	for crashAt := 1; ; crashAt++ {
+		geo := layout.Default()
+		dev := nvm.New(geo.PoolSize(), nvm.Options{TrackPersistence: true})
+		e, err := Create(dev, geo, Options{Mode: PmemobjP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var oid layout.OID
+		if err := e.Run(func(tx *Tx) error {
+			var err error
+			var data []byte
+			oid, data, err = tx.Alloc(600, 1)
+			if err != nil {
+				return err
+			}
+			for i := range data {
+				data[i] = 0xAA
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		crashed, _ := runUntilCrash(dev, crashAt, func() {
+			_ = e.Run(func(tx *Tx) error {
+				data, err := tx.AddRange(oid, 0, 600)
+				if err != nil {
+					return err
+				}
+				for i := range data[:600] {
+					data[i] = 0xBB
+				}
+				return nil
+			})
+		})
+		img := dev.CrashCopy(nvm.CrashEvictRandom, int64(crashAt))
+		e2, err := Open(img, Options{Mode: PmemobjP}, nil)
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		got, err := e2.Get(oid)
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		if got[0] != 0xAA && got[0] != 0xBB {
+			t.Fatalf("crashAt=%d: torn byte %#x", crashAt, got[0])
+		}
+		for _, b := range got {
+			if b != got[0] {
+				t.Fatalf("crashAt=%d: torn object", crashAt)
+			}
+		}
+		assertPoolInvariants(t, e2)
+		e2.Close()
+		e.Close()
+		if !crashed {
+			return
+		}
+		if crashAt > 3000 {
+			t.Fatal("sweep did not terminate")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pangolin-go/pangolin/internal/alloc"
+	"github.com/pangolin-go/pangolin/internal/layout"
+)
+
+// ScrubReport summarizes one scrubbing pass (§3.3 "Scrub" mode).
+type ScrubReport struct {
+	Objects     int // live objects examined
+	BadObjects  int // checksum mismatches found
+	Repaired    int // objects restored from parity
+	Unrecovered int // objects that stayed corrupt
+	ParityFixes int // parity columns recomputed
+	PagesHealed int // poisoned pages repaired
+}
+
+// Scrub verifies and restores the whole pool's integrity: every live
+// object's checksum, every zone's parity invariant, and any known-bad
+// pages. It freezes the pool for the duration, like online recovery.
+func (e *Engine) Scrub() (ScrubReport, error) {
+	if e.closed.Load() {
+		return ScrubReport{}, ErrClosed
+	}
+	e.recoverMu.Lock()
+	defer e.recoverMu.Unlock()
+	e.freeze()
+	defer e.unfreeze()
+	var rep ScrubReport
+
+	// Known-bad pages first (the kernel's bad-page list, §3.3).
+	for _, p := range e.dev.PoisonedPages() {
+		if err := e.repairPage(p); err != nil {
+			return rep, fmt.Errorf("core: scrub page repair %#x: %w", p, err)
+		}
+		rep.PagesHealed++
+	}
+
+	// Object checksums.
+	if e.mode.Checksums() {
+		var objs []alloc.ObjectInfo
+		e.heap.Objects(func(o alloc.ObjectInfo) bool { objs = append(objs, o); return true })
+		for _, o := range objs {
+			rep.Objects++
+			ok, err := e.scrubObject(o)
+			if err != nil {
+				return rep, err
+			}
+			if ok {
+				continue
+			}
+			rep.BadObjects++
+			// Rebuild every page the object spans from parity, then
+			// re-verify.
+			first := o.Base &^ uint64(layout.PageSize-1)
+			last := (o.Base + o.Capacity - 1) &^ uint64(layout.PageSize-1)
+			repairFailed := false
+			for p := first; p <= last; p += layout.PageSize {
+				if err := e.repairPage(p); err != nil {
+					repairFailed = true
+					break
+				}
+			}
+			if !repairFailed {
+				if ok, err := e.scrubObject(o); err == nil && ok {
+					rep.Repaired++
+					continue
+				}
+			}
+			rep.Unrecovered++
+		}
+	}
+
+	// Parity invariant: a stale column (scribbled parity) is recomputed
+	// from the data rows.
+	if e.mode.Parity() {
+		for z := uint64(0); z < e.geo.NumZones; z++ {
+			for {
+				bad, err := e.par.VerifyZone(z)
+				if err != nil {
+					return rep, fmt.Errorf("core: scrub parity verify zone %d: %w", z, err)
+				}
+				if bad < 0 {
+					break
+				}
+				col := uint64(bad) &^ uint64(layout.PageSize-1)
+				n := min(uint64(layout.PageSize), e.geo.RowSize()-col)
+				if err := e.par.RecomputeColumn(z, col, n); err != nil {
+					return rep, err
+				}
+				rep.ParityFixes++
+				if rep.ParityFixes > int(e.geo.RowSize()/layout.PageSize)*int(e.geo.NumZones)+16 {
+					return rep, fmt.Errorf("core: scrub parity repair not converging in zone %d", z)
+				}
+			}
+		}
+	}
+	e.stats.ScrubRuns.Add(1)
+	e.stats.ScrubFixed.Add(uint64(rep.Repaired + rep.ParityFixes + rep.PagesHealed))
+	return rep, nil
+}
+
+// scrubObject verifies one object's checksum against its header, reading
+// raw (the pool is frozen; no recursive recovery).
+func (e *Engine) scrubObject(o alloc.ObjectInfo) (bool, error) {
+	var hb [layout.ObjHeaderSize]byte
+	if err := e.dev.ReadAt(hb[:], o.Base); err != nil {
+		return false, nil // poisoned mid-scrub: treat as corrupt
+	}
+	hdr := layout.DecodeObjHeader(hb[:])
+	if hdr.Size < layout.ObjHeaderSize || hdr.Size > o.Capacity {
+		return false, nil // implausible header is corruption
+	}
+	img := make([]byte, hdr.Size)
+	if err := e.dev.ReadAt(img, o.Base); err != nil {
+		return false, nil
+	}
+	return layout.ObjChecksum(img) == hdr.Csum, nil
+}
+
+// startScrubber launches the background scrubbing goroutine when the
+// engine runs with a scrub interval (§3.3 "Scrub" mode).
+func (e *Engine) startScrubber() {
+	if e.opts.ScrubEvery == 0 {
+		return
+	}
+	e.scrubReq = make(chan struct{}, 1)
+	e.scrubDone = make(chan struct{})
+	go func() {
+		defer close(e.scrubDone)
+		for range e.scrubReq {
+			if e.closed.Load() {
+				return
+			}
+			_, _ = e.Scrub()
+		}
+	}()
+}
+
+func (e *Engine) stopScrubber() {
+	if e.scrubReq != nil {
+		close(e.scrubReq)
+		<-e.scrubDone
+	}
+}
+
+// maybeScrub triggers the scrubbing thread every ScrubEvery committed
+// transactions.
+func (e *Engine) maybeScrub() {
+	if e.opts.ScrubEvery == 0 {
+		return
+	}
+	if n := e.txCounter.Add(1); n%e.opts.ScrubEvery == 0 {
+		select {
+		case e.scrubReq <- struct{}{}:
+		default: // a pass is already queued
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/pangolin-go/pangolin/internal/csum"
+	"github.com/pangolin-go/pangolin/internal/nvm"
+)
+
+func TestDefaultGeometryValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Paper(2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidationRejects(t *testing.T) {
+	cases := []func(*Geometry){
+		func(g *Geometry) { g.ChunkSize = 100 },  // not page multiple
+		func(g *Geometry) { g.ChunksPerRow = 0 }, // empty rows
+		func(g *Geometry) { g.RowsPerZone = 2 },  // no room for data+parity
+		func(g *Geometry) { g.NumZones = 0 },
+		func(g *Geometry) { g.NumLanes = 0 },
+		func(g *Geometry) { g.LaneSize = 100 },
+		func(g *Geometry) { g.RangeLockBytes = 7 },
+	}
+	for i, mut := range cases {
+		g := Default()
+		mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid geometry accepted", i)
+		}
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	for _, g := range []Geometry{Default(), Paper(3)} {
+		// Ordered region boundaries must be monotonic.
+		bounds := []uint64{
+			0, PageSize, // header primary
+			PageSize, 2 * PageSize, // header replica
+			BadPageRecOff(), BadPageRecOff() + PageSize,
+			BadPageRecReplicaOff(), BadPageRecReplicaOff() + PageSize,
+			g.LanesOff(), g.LanesReplicaOff(),
+			g.LanesReplicaOff(), g.OverflowOff(),
+			g.OverflowOff(), g.OverflowReplicaOff(),
+			g.OverflowReplicaOff(), g.OverflowReplicaOff() + g.OverflowExts*g.OverflowExtSize,
+			g.ZonesOff(), g.PoolSize(),
+		}
+		for i := 2; i < len(bounds); i += 2 {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("region %d starts at %#x before previous region ends at %#x", i/2, bounds[i], bounds[i-1])
+			}
+		}
+	}
+}
+
+func TestZoneArithmetic(t *testing.T) {
+	g := Default()
+	for z := uint64(0); z < g.NumZones; z++ {
+		if g.ZoneHeaderOff(z) != g.ZoneBase(z) {
+			t.Fatal("zone header must start the zone")
+		}
+		if g.ParityBase(z)+g.RowSize() != g.ZoneBase(z)+g.ZoneSize() {
+			t.Fatal("parity row must end the zone")
+		}
+		// Chunk 0 begins the data rows.
+		if g.ChunkBase(z, 0) != g.RowsBase(z) {
+			t.Fatal("chunk 0 misplaced")
+		}
+		// Last chunk ends at parity base.
+		last := g.ChunksPerZone() - 1
+		if g.ChunkBase(z, last)+g.ChunkSize != g.ParityBase(z) {
+			t.Fatal("last chunk must abut parity row")
+		}
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	g := Default()
+	f := func(z8, row8 uint8, col16 uint16) bool {
+		z := uint64(z8) % g.NumZones
+		row := uint64(row8) % g.DataRows()
+		col := uint64(col16) % g.RowSize()
+		off := g.RowByteOff(z, row, col)
+		if !g.InZoneData(off) {
+			return false
+		}
+		loc := g.Locate(off)
+		return loc.Zone == z && loc.Row == row && loc.Col == col
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInZoneClassification(t *testing.T) {
+	g := Default()
+	if g.InZoneData(0) {
+		t.Fatal("pool header is not zone data")
+	}
+	if g.InZoneData(g.ZoneBase(0)) {
+		t.Fatal("zone header is not zone data")
+	}
+	if !g.InZoneData(g.RowsBase(0)) {
+		t.Fatal("first data byte must classify as zone data")
+	}
+	if g.InZoneData(g.ParityBase(0)) {
+		t.Fatal("parity row must not classify as zone data")
+	}
+	if !g.InZoneParity(g.ParityBase(0)) {
+		t.Fatal("parity base must classify as parity")
+	}
+	if g.InZoneParity(g.RowsBase(0)) {
+		t.Fatal("data must not classify as parity")
+	}
+	if g.InZoneData(g.PoolSize()) || g.InZoneParity(g.PoolSize()+100) {
+		t.Fatal("beyond pool end misclassified")
+	}
+}
+
+func TestLocatePanicsOutsideData(t *testing.T) {
+	g := Default()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Locate(0)
+}
+
+func TestObjHeaderRoundTrip(t *testing.T) {
+	h := ObjHeader{Size: 4096, Type: 77, Csum: 0xDEADBEEF}
+	var b [ObjHeaderSize]byte
+	EncodeObjHeader(b[:], h)
+	if got := DecodeObjHeader(b[:]); got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
+	}
+	if h.UserSize() != 4096-ObjHeaderSize {
+		t.Fatalf("UserSize = %d", h.UserSize())
+	}
+}
+
+func TestObjChecksumIgnoresCsumField(t *testing.T) {
+	obj := make([]byte, 128)
+	EncodeObjHeader(obj, ObjHeader{Size: 128, Type: 5})
+	copy(obj[ObjHeaderSize:], "payload payload payload")
+	c1 := ObjChecksum(obj)
+	// Store the checksum into the header; recomputation must not change.
+	h := DecodeObjHeader(obj)
+	h.Csum = c1
+	EncodeObjHeader(obj, h)
+	if c2 := ObjChecksum(obj); c2 != c1 {
+		t.Fatalf("checksum depends on its own field: %#x vs %#x", c2, c1)
+	}
+	// But data changes must change it.
+	obj[ObjHeaderSize] ^= 0xFF
+	if ObjChecksum(obj) == c1 {
+		t.Fatal("checksum insensitive to data change")
+	}
+}
+
+func TestObjChecksumMatchesFlatAdler(t *testing.T) {
+	obj := make([]byte, 200)
+	for i := range obj {
+		obj[i] = byte(i)
+	}
+	EncodeObjHeader(obj, ObjHeader{Size: 200, Type: 9})
+	flat := append([]byte(nil), obj...)
+	flat[12], flat[13], flat[14], flat[15] = 0, 0, 0, 0
+	if got, want := ObjChecksum(obj), csum.Adler32(flat); got != want {
+		t.Fatalf("ObjChecksum = %#x, flat Adler32 = %#x", got, want)
+	}
+}
+
+func TestPoolHeaderRoundTrip(t *testing.T) {
+	h := PoolHeader{
+		Magic: Magic, Version: Version,
+		Flags: FlagParity | FlagChecksums,
+		UUID:  0xABCD, Seq: 7,
+		Geo:    Default(),
+		Root:   OID{Pool: 0xABCD, Off: 12345},
+		RootSz: 64,
+	}
+	b := EncodePoolHeader(h)
+	got, err := DecodePoolHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestPoolHeaderRejectsCorruption(t *testing.T) {
+	b := EncodePoolHeader(PoolHeader{Magic: Magic, Version: Version, Geo: Default()})
+	b[20] ^= 1
+	if _, err := DecodePoolHeader(b); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+	if _, err := DecodePoolHeader(b[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Wrong magic with a valid checksum.
+	h := PoolHeader{Magic: 1234, Version: Version, Geo: Default()}
+	if _, err := DecodePoolHeader(EncodePoolHeader(h)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	h = PoolHeader{Magic: Magic, Version: 99, Geo: Default()}
+	if _, err := DecodePoolHeader(EncodePoolHeader(h)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestZoneHeaderRoundTrip(t *testing.T) {
+	h := ZoneHeader{ZoneIdx: 3, Seq: 9, Chunks: 60}
+	got, err := DecodeZoneHeader(EncodeZoneHeader(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	b := EncodeZoneHeader(h)
+	b[0] ^= 1
+	if _, err := DecodeZoneHeader(b); err == nil {
+		t.Fatal("corrupt zone header accepted")
+	}
+}
+
+func TestBadPageRecordRoundTrip(t *testing.T) {
+	r := BadPageRecord{Pages: []uint64{4096, 8192, 1 << 20}}
+	b, err := EncodeBadPageRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeBadPageRecord(b)
+	if len(got.Pages) != 3 || got.Pages[0] != 4096 || got.Pages[2] != 1<<20 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Corruption decodes as empty, never as garbage repairs.
+	b[16] ^= 0xFF
+	if got := DecodeBadPageRecord(b); len(got.Pages) != 0 {
+		t.Fatalf("corrupt record decoded: %+v", got)
+	}
+	// Absurd count decodes as empty.
+	for i := 0; i < 8; i++ {
+		b[i] = 0xFF
+	}
+	if got := DecodeBadPageRecord(b); len(got.Pages) != 0 {
+		t.Fatal("oversized record accepted")
+	}
+	if _, err := EncodeBadPageRecord(BadPageRecord{Pages: make([]uint64, maxBadPages+1)}); err == nil {
+		t.Fatal("oversized record encoded")
+	}
+}
+
+func TestReadReplicatedPrefersHigherSeq(t *testing.T) {
+	dev := nvm.New(64*1024, nvm.Options{TrackPersistence: true})
+	mk := func(seq uint64) []byte {
+		b := make([]byte, 32)
+		b[0] = byte(seq)
+		return b
+	}
+	dev.WriteAt(0, mk(1))
+	dev.WriteAt(4096, mk(5))
+	decode := func(b []byte) (uint64, error) { return uint64(b[0]), nil }
+	got, err := ReadReplicated(dev, 0, 4096, 32, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("picked seq %d, want 5", got[0])
+	}
+}
+
+func TestReadReplicatedSurvivesPoisonedPrimary(t *testing.T) {
+	dev := nvm.New(64*1024, nvm.Options{TrackPersistence: true})
+	dev.WriteAt(4096, []byte{42})
+	dev.Poison(0)
+	decode := func(b []byte) (uint64, error) { return 0, nil }
+	got, err := ReadReplicated(dev, 0, 4096, 1, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("got %d from replica, want 42", got[0])
+	}
+	// Both copies gone: error.
+	dev.Poison(4096)
+	if _, err := ReadReplicated(dev, 0, 4096, 1, decode); err == nil {
+		t.Fatal("expected failure with both copies poisoned")
+	}
+}

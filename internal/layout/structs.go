@@ -1,0 +1,264 @@
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/pangolin-go/pangolin/internal/csum"
+	"github.com/pangolin-go/pangolin/internal/nvm"
+)
+
+// OID is a persistent object identifier: a pool UUID plus the byte offset
+// of the object's user data within the pool. It is the PMEMoid analog
+// (§2.3) and stays valid wherever the pool is mapped.
+type OID struct {
+	Pool uint64 // pool UUID
+	Off  uint64 // offset of user data (the object header precedes it)
+}
+
+// NilOID is the null persistent pointer.
+var NilOID = OID{}
+
+// IsNil reports whether the OID is null.
+func (o OID) IsNil() bool { return o == NilOID }
+
+// HeaderOff returns the pool offset of the object's header.
+func (o OID) HeaderOff() uint64 { return o.Off - ObjHeaderSize }
+
+// ObjHeader is the per-object header Pangolin stores ahead of user data:
+// the object's total size (header included), its user-assigned type, and
+// the Adler32 checksum of header-plus-data (checksum field zeroed during
+// computation). See §3.1.
+type ObjHeader struct {
+	Size uint64 // total object size including this header
+	Type uint32
+	Csum uint32
+}
+
+// UserSize returns the object's user-data capacity.
+func (h ObjHeader) UserSize() uint64 { return h.Size - ObjHeaderSize }
+
+// EncodeObjHeader writes h into b (at least ObjHeaderSize bytes).
+func EncodeObjHeader(b []byte, h ObjHeader) {
+	binary.LittleEndian.PutUint64(b[0:], h.Size)
+	binary.LittleEndian.PutUint32(b[8:], h.Type)
+	binary.LittleEndian.PutUint32(b[12:], h.Csum)
+}
+
+// DecodeObjHeader reads an ObjHeader from b.
+func DecodeObjHeader(b []byte) ObjHeader {
+	return ObjHeader{
+		Size: binary.LittleEndian.Uint64(b[0:]),
+		Type: binary.LittleEndian.Uint32(b[8:]),
+		Csum: binary.LittleEndian.Uint32(b[12:]),
+	}
+}
+
+// ObjChecksum computes the checksum of an object image: the full object
+// bytes (header followed by user data) with the header's checksum field
+// treated as zero.
+func ObjChecksum(obj []byte) uint32 {
+	var hdr [ObjHeaderSize]byte
+	copy(hdr[:], obj[:ObjHeaderSize])
+	hdr[12], hdr[13], hdr[14], hdr[15] = 0, 0, 0, 0
+	return csum.Continue(csum.Adler32(hdr[:]), obj[ObjHeaderSize:])
+}
+
+// PoolHeader is the root metadata of a pool, stored replicated in the first
+// two pages. Seq orders the two copies after a crash mid-update: both may
+// be checksum-valid but the higher Seq wins.
+type PoolHeader struct {
+	Magic   uint64
+	Version uint32
+	Flags   uint32
+	UUID    uint64
+	Seq     uint64
+	Geo     Geometry
+	Root    OID    // the root object (§2.3); NilOID until allocated
+	RootSz  uint64 // requested root size
+}
+
+// poolHeaderSize is the encoded size (with trailing checksum).
+const poolHeaderSize = 8 + 4 + 4 + 8 + 8 + 9*8 + 16 + 8 + 4
+
+// EncodePoolHeader serializes h with a trailing Adler32.
+func EncodePoolHeader(h PoolHeader) []byte {
+	b := make([]byte, poolHeaderSize)
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], h.Magic)
+	le.PutUint32(b[8:], h.Version)
+	le.PutUint32(b[12:], h.Flags)
+	le.PutUint64(b[16:], h.UUID)
+	le.PutUint64(b[24:], h.Seq)
+	g := h.Geo
+	le.PutUint64(b[32:], g.ChunkSize)
+	le.PutUint64(b[40:], g.ChunksPerRow)
+	le.PutUint64(b[48:], g.RowsPerZone)
+	le.PutUint64(b[56:], g.NumZones)
+	le.PutUint64(b[64:], g.NumLanes)
+	le.PutUint64(b[72:], g.LaneSize)
+	le.PutUint64(b[80:], g.OverflowExts)
+	le.PutUint64(b[88:], g.OverflowExtSize)
+	le.PutUint64(b[96:], g.RangeLockBytes)
+	le.PutUint64(b[104:], h.Root.Pool)
+	le.PutUint64(b[112:], h.Root.Off)
+	le.PutUint64(b[120:], h.RootSz)
+	le.PutUint32(b[128:], csum.Adler32(b[:poolHeaderSize-4]))
+	return b
+}
+
+// DecodePoolHeader parses and validates a pool header image.
+func DecodePoolHeader(b []byte) (PoolHeader, error) {
+	if len(b) < poolHeaderSize {
+		return PoolHeader{}, fmt.Errorf("layout: pool header truncated")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[128:]) != csum.Adler32(b[:poolHeaderSize-4]) {
+		return PoolHeader{}, fmt.Errorf("layout: pool header checksum mismatch")
+	}
+	h := PoolHeader{
+		Magic:   le.Uint64(b[0:]),
+		Version: le.Uint32(b[8:]),
+		Flags:   le.Uint32(b[12:]),
+		UUID:    le.Uint64(b[16:]),
+		Seq:     le.Uint64(b[24:]),
+		Geo: Geometry{
+			ChunkSize:       le.Uint64(b[32:]),
+			ChunksPerRow:    le.Uint64(b[40:]),
+			RowsPerZone:     le.Uint64(b[48:]),
+			NumZones:        le.Uint64(b[56:]),
+			NumLanes:        le.Uint64(b[64:]),
+			LaneSize:        le.Uint64(b[72:]),
+			OverflowExts:    le.Uint64(b[80:]),
+			OverflowExtSize: le.Uint64(b[88:]),
+			RangeLockBytes:  le.Uint64(b[96:]),
+		},
+		Root:   OID{Pool: le.Uint64(b[104:]), Off: le.Uint64(b[112:])},
+		RootSz: le.Uint64(b[120:]),
+	}
+	if h.Magic != Magic {
+		return PoolHeader{}, fmt.Errorf("layout: bad magic %#x (not a Pangolin pool)", h.Magic)
+	}
+	if h.Version != Version {
+		return PoolHeader{}, fmt.Errorf("layout: unsupported pool version %d", h.Version)
+	}
+	return h, nil
+}
+
+// ZoneHeader is per-zone metadata, replicated in the zone's first two
+// pages.
+type ZoneHeader struct {
+	ZoneIdx uint64
+	Seq     uint64
+	Chunks  uint64 // allocatable chunks (== Geometry.ChunksPerZone)
+}
+
+const zoneHeaderSize = 8 + 8 + 8 + 4
+
+// EncodeZoneHeader serializes h with a trailing Adler32.
+func EncodeZoneHeader(h ZoneHeader) []byte {
+	b := make([]byte, zoneHeaderSize)
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], h.ZoneIdx)
+	le.PutUint64(b[8:], h.Seq)
+	le.PutUint64(b[16:], h.Chunks)
+	le.PutUint32(b[24:], csum.Adler32(b[:zoneHeaderSize-4]))
+	return b
+}
+
+// DecodeZoneHeader parses and validates a zone header image.
+func DecodeZoneHeader(b []byte) (ZoneHeader, error) {
+	if len(b) < zoneHeaderSize {
+		return ZoneHeader{}, fmt.Errorf("layout: zone header truncated")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[24:]) != csum.Adler32(b[:zoneHeaderSize-4]) {
+		return ZoneHeader{}, fmt.Errorf("layout: zone header checksum mismatch")
+	}
+	return ZoneHeader{
+		ZoneIdx: le.Uint64(b[0:]),
+		Seq:     le.Uint64(b[8:]),
+		Chunks:  le.Uint64(b[16:]),
+	}, nil
+}
+
+// BadPageRecord is the persistent record of pages under corruption
+// recovery (§3.6): recovery is idempotent, so after a crash the recorded
+// pages are simply repaired again.
+type BadPageRecord struct {
+	Pages []uint64 // pool offsets of page starts
+}
+
+// maxBadPages bounds the record to one page.
+const maxBadPages = (PageSize - 16) / 8
+
+// EncodeBadPageRecord serializes r into a full page image.
+func EncodeBadPageRecord(r BadPageRecord) ([]byte, error) {
+	if len(r.Pages) > maxBadPages {
+		return nil, fmt.Errorf("layout: too many bad pages (%d)", len(r.Pages))
+	}
+	b := make([]byte, PageSize)
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], uint64(len(r.Pages)))
+	for i, p := range r.Pages {
+		le.PutUint64(b[16+i*8:], p)
+	}
+	le.PutUint32(b[8:], csum.Adler32(b[16:16+len(r.Pages)*8]))
+	return b, nil
+}
+
+// DecodeBadPageRecord parses a bad-page record page. A record that fails
+// validation is treated as empty (the write never completed, so no repair
+// was in progress through this copy).
+func DecodeBadPageRecord(b []byte) BadPageRecord {
+	le := binary.LittleEndian
+	n := le.Uint64(b[0:])
+	if n > maxBadPages {
+		return BadPageRecord{}
+	}
+	body := b[16 : 16+n*8]
+	if le.Uint32(b[8:]) != csum.Adler32(body) {
+		return BadPageRecord{}
+	}
+	r := BadPageRecord{Pages: make([]uint64, n)}
+	for i := range r.Pages {
+		r.Pages[i] = le.Uint64(body[i*8:])
+	}
+	return r
+}
+
+// ReadReplicated reads an n-byte region that exists at two locations,
+// validates each copy with decode, and returns the image of the winning
+// copy (higher seq as reported by decode's second return). It tolerates a
+// poisoned or corrupt copy; it fails only if both copies are unusable. It
+// is the generic accessor for pool headers, zone headers, and log pages.
+func ReadReplicated(dev *nvm.Device, primary, replica, n uint64,
+	decode func([]byte) (seq uint64, err error)) ([]byte, error) {
+
+	read := func(off uint64) ([]byte, uint64, error) {
+		b := make([]byte, n)
+		if err := dev.ReadAt(b, off); err != nil {
+			return nil, 0, err
+		}
+		seq, err := decode(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return b, seq, nil
+	}
+	pb, pseq, perr := read(primary)
+	rb, rseq, rerr := read(replica)
+	switch {
+	case perr == nil && rerr == nil:
+		if rseq > pseq {
+			return rb, nil
+		}
+		return pb, nil
+	case perr == nil:
+		return pb, nil
+	case rerr == nil:
+		return rb, nil
+	default:
+		return nil, fmt.Errorf("layout: both replicas unusable: primary: %v; replica: %w", perr, rerr)
+	}
+}

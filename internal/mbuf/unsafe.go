@@ -1,0 +1,13 @@
+package mbuf
+
+import "unsafe"
+
+// asBytes views a word slice as bytes without copying. The backing array
+// outlives every derived slice (it is referenced by the Buf), and byte
+// views of word arrays are always correctly aligned.
+func asBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), len(w)*8)
+}

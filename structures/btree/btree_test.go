@@ -1,0 +1,125 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/kvtest"
+)
+
+func TestNodeSizeMatchesPaper(t *testing.T) {
+	// Table 3: btree object size 304 B.
+	if s := unsafe.Sizeof(node{}); s != 304 {
+		t.Fatalf("node size %d, want 304", s)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	})
+}
+
+// TestDeepChurn drives the tree through many splits and merges with a
+// model check, hitting the borrow-left, borrow-right, and merge paths.
+func TestDeepChurn(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[uint64]uint64)
+	// Grow to 3 levels.
+	for k := uint64(0); k < 500; k++ {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = k
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(600))
+		if rng.Intn(2) == 0 {
+			ok, err := tr.Remove(k)
+			if err != nil {
+				t.Fatalf("op %d remove %d: %v", i, k, err)
+			}
+			if _, want := model[k]; ok != want {
+				t.Fatalf("op %d remove %d = %v want %v", i, k, ok, want)
+			}
+			delete(model, k)
+		} else {
+			if err := tr.Insert(k, uint64(i)); err != nil {
+				t.Fatalf("op %d insert %d: %v", i, k, err)
+			}
+			model[k] = uint64(i)
+		}
+	}
+	for k := uint64(0); k < 600; k++ {
+		v, ok, err := tr.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, want := model[k]
+		if ok != want || (ok && v != wantV) {
+			t.Fatalf("key %d: (%d,%v) want (%d,%v)", k, v, ok, wantV, want)
+		}
+	}
+	if n, _ := tr.Len(); n != uint64(len(model)) {
+		t.Fatalf("len %d model %d", n, len(model))
+	}
+}
+
+// TestDrainToEmpty shrinks the root through merges down to nothing.
+func TestDrainToEmpty(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		ok, err := tr.Remove(k)
+		if err != nil || !ok {
+			t.Fatalf("remove %d: (%v,%v)", k, ok, err)
+		}
+	}
+	if cnt, _ := tr.Len(); cnt != 0 {
+		t.Fatalf("len %d after drain", cnt)
+	}
+	// Reusable after drain.
+	if err := tr.Insert(42, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tr.Lookup(42); !ok || v != 42 {
+		t.Fatal("reuse after drain failed")
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	kvtest.RunRange(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	}, true)
+}

@@ -1,0 +1,80 @@
+package ctree
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/kvtest"
+)
+
+func TestNodeSizeMatchesPaper(t *testing.T) {
+	// Table 3: ctree object size 56 B.
+	if s := unsafe.Sizeof(node{}); s != 56 {
+		t.Fatalf("node size %d, want 56", s)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	})
+}
+
+func TestMsbDiff(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want uint32
+	}{
+		{0, 1, 0},
+		{0, 1 << 63, 63},
+		{0b1010, 0b1000, 1},
+		{5, 4, 0},
+	}
+	for _, c := range cases {
+		if got := msbDiff(c.a, c.b); got != c.want {
+			t.Fatalf("msbDiff(%#x,%#x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLenTracksCount(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := tr.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := tr.Len(); n != 20 {
+		t.Fatalf("len %d", n)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if _, err := tr.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := tr.Len(); n != 10 {
+		t.Fatalf("len %d after removals", n)
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	kvtest.RunRange(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	}, true)
+}

@@ -1,0 +1,25 @@
+// Package kv defines the interface shared by the six persistent key-value
+// data structures the paper evaluates (§4.5): ctree, rbtree, btree,
+// skiplist, rtree, and hashmap. All map uint64 keys to uint64 values and
+// store every node as a Pangolin object, so each structure exercises the
+// library with its own object sizes and transaction shapes (Table 3).
+package kv
+
+import "github.com/pangolin-go/pangolin"
+
+// Map is a persistent uint64 → uint64 key-value store. Implementations
+// are safe for use from one goroutine at a time (transactions are
+// per-goroutine; see §3.4).
+type Map interface {
+	// Insert adds or updates a key in one transaction.
+	Insert(k, v uint64) error
+	// Lookup returns the value for k. Lookups read NVMM directly
+	// without micro-buffering (pgl_get).
+	Lookup(k uint64) (uint64, bool, error)
+	// Remove deletes k, reporting whether it was present.
+	Remove(k uint64) (bool, error)
+	// Anchor returns the OID of the structure's persistent anchor;
+	// passing it to the structure's Attach function reconnects after a
+	// pool reopen.
+	Anchor() pangolin.OID
+}

@@ -1,0 +1,78 @@
+package kvtest
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+)
+
+// Ranger is implemented by structures offering iteration.
+type Ranger interface {
+	Range(fn func(k, v uint64) bool) error
+}
+
+// RunRange verifies a structure's Range iterator: full coverage, early
+// stop, and (when ordered is set) ascending key order.
+func RunRange(t *testing.T, h Harness, ordered bool) {
+	p := newPool(t, pangolin.ModePangolinMLPC)
+	m, err := h.Make(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := m.(Ranger)
+	if !ok {
+		t.Fatal("structure does not implement Range")
+	}
+	want := map[uint64]uint64{}
+	for _, k := range []uint64{9, 2, 71, 33, 5, 100, 0, 64} {
+		if err := m.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = k * 3
+	}
+	var keys []uint64
+	got := map[uint64]uint64{}
+	if err := r.Range(func(k, v uint64) bool {
+		keys = append(keys, k)
+		got[k] = v
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ranged %d pairs, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: got %d want %d", k, got[k], v)
+		}
+	}
+	if ordered && !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys not ascending: %v", keys)
+	}
+	// Early stop.
+	n := 0
+	if err := r.Range(func(k, v uint64) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty structure ranges nothing.
+	m2, err := h.Make(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.(Ranger).Range(func(k, v uint64) bool {
+		t.Fatal("empty structure yielded a pair")
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = kv.Map(m) // keep the interface linkage explicit
+}

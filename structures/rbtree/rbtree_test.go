@@ -1,0 +1,107 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/kvtest"
+)
+
+func TestNodeSizeMatchesPaper(t *testing.T) {
+	// Table 3: rbtree object size 80 B.
+	if s := unsafe.Sizeof(node{}); s != 80 {
+		t.Fatalf("node size %d, want 80", s)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	})
+}
+
+// TestInvariantsUnderChurn checks the red-black invariants after every
+// operation in a random insert/remove workload.
+func TestInvariantsUnderChurn(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	model := make(map[uint64]uint64)
+	for i := 0; i < 600; i++ {
+		k := uint64(rng.Intn(120))
+		if rng.Intn(3) == 0 {
+			ok, err := tr.Remove(k)
+			if err != nil {
+				t.Fatalf("op %d: remove: %v", i, err)
+			}
+			if _, want := model[k]; ok != want {
+				t.Fatalf("op %d: remove %d = %v, want %v", i, k, ok, want)
+			}
+			delete(model, k)
+		} else {
+			if err := tr.Insert(k, k*2); err != nil {
+				t.Fatalf("op %d: insert: %v", i, err)
+			}
+			model[k] = k * 2
+		}
+		if i%25 == 0 {
+			if _, err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if _, err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tr.Len(); n != uint64(len(model)) {
+		t.Fatalf("len %d, model %d", n, len(model))
+	}
+}
+
+// TestBlackHeightGrowsLogarithmically sanity-checks balance: 1023 keys
+// must give black height ≤ 10.
+func TestBlackHeightGrowsLogarithmically(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1023; k++ {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bh, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh > 10 {
+		t.Fatalf("black height %d for 1023 sequential inserts", bh)
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	kvtest.RunRange(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	}, true)
+}

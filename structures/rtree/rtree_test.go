@@ -1,0 +1,86 @@
+package rtree
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/kvtest"
+)
+
+func TestNodeSizeMatchesPaper(t *testing.T) {
+	// Table 3: rtree object size 4136 B.
+	if s := unsafe.Sizeof(node{}); s != 4136 {
+		t.Fatalf("node size %d, want 4136", s)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	})
+}
+
+func TestKeyByte(t *testing.T) {
+	k := uint64(0x0102030405060708)
+	for d := 0; d < 8; d++ {
+		if got := keyByte(k, d); got != byte(d+1) {
+			t.Fatalf("keyByte(%d) = %d, want %d", d, got, d+1)
+		}
+	}
+}
+
+// TestPruningFreesPathNodes verifies removal releases the entire private
+// path of a key (no storage leak).
+func TestPruningFreesPathNodes(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := p.Stats().TxAllocObjs.Load()
+	_ = baseline
+	// Two keys sharing a 7-byte prefix, one fully distinct.
+	a := uint64(0x1111111111111100)
+	b := uint64(0x1111111111111101)
+	c := uint64(0x2222222222222222)
+	for _, k := range []uint64{a, b, c} {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Removing b frees only its leaf (shared path stays).
+	if ok, err := tr.Remove(b); err != nil || !ok {
+		t.Fatalf("remove b: %v %v", ok, err)
+	}
+	if v, ok, _ := tr.Lookup(a); !ok || v != a {
+		t.Fatal("sibling key lost")
+	}
+	// Removing c frees its whole private 8-node path.
+	if ok, err := tr.Remove(c); err != nil || !ok {
+		t.Fatalf("remove c: %v %v", ok, err)
+	}
+	if ok, err := tr.Remove(a); err != nil || !ok {
+		t.Fatalf("remove a: %v %v", ok, err)
+	}
+	if n, _ := tr.Len(); n != 0 {
+		t.Fatalf("len %d", n)
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	kvtest.RunRange(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	}, true)
+}

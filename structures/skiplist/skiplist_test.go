@@ -1,0 +1,105 @@
+package skiplist
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/kvtest"
+)
+
+func TestNodeSizeMatchesPaper(t *testing.T) {
+	// Table 3: skiplist object size 408 B.
+	if s := unsafe.Sizeof(node{}); s != 408 {
+		t.Fatalf("node size %d, want 408", s)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	})
+}
+
+func TestTowerDistribution(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	l, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall := 0
+	for i := 0; i < 1000; i++ {
+		if lv := l.randLevel(); lv > 1 {
+			tall++
+		}
+		if lv := l.randLevel(); lv > maxLevel {
+			t.Fatalf("level %d exceeds max", lv)
+		}
+	}
+	// P(level > 1) = 1/2: expect roughly half.
+	if tall < 300 || tall > 700 {
+		t.Fatalf("tower distribution skewed: %d/2000 tall", tall)
+	}
+}
+
+func TestOrderedTraversal(t *testing.T) {
+	p, err := pangolin.Create(pangolin.Config{Mode: pangolin.ModePangolinMLPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	l, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		if err := l.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Walk level 0: keys must be sorted.
+	a, err := pangolin.GetFromPool[anchor](p, l.anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := pangolin.GetFromPool[node](p, a.Head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []uint64
+	cur := head.Next[0]
+	for !cur.IsNil() {
+		n, err := pangolin.GetFromPool[node](p, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, n.Key)
+		cur = n.Next[0]
+	}
+	want := []uint64{1, 3, 5, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("keys %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	kvtest.RunRange(t, kvtest.Harness{
+		Make: func(p *pangolin.Pool) (kv.Map, error) { return New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) {
+			return Attach(p, a)
+		},
+	}, true)
+}

@@ -1,0 +1,132 @@
+package pangolin_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/btree"
+	"github.com/pangolin-go/pangolin/structures/ctree"
+	"github.com/pangolin-go/pangolin/structures/hashmap"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/rbtree"
+	"github.com/pangolin-go/pangolin/structures/skiplist"
+)
+
+// TestSystemTorture is the whole-system gauntlet: several data structures
+// share one fully protected pool while the test interleaves mutations,
+// media errors, scribbles, scrub passes, and crash/reopen cycles, checking
+// every structure against a volatile model throughout. This is the
+// "downstream user's worst week" test.
+func TestSystemTorture(t *testing.T) {
+	geo := pangolin.DefaultGeometry()
+	geo.NumZones = 12
+	cfg := pangolin.Config{Mode: pangolin.ModePangolinMLPC, Geometry: geo}
+	pool, err := pangolin.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type tracked struct {
+		name   string
+		m      kv.Map
+		attach func(*pangolin.Pool, pangolin.OID) (kv.Map, error)
+		model  map[uint64]uint64
+	}
+	mk := func(name string, m kv.Map, err error,
+		attach func(*pangolin.Pool, pangolin.OID) (kv.Map, error)) *tracked {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &tracked{name: name, m: m, attach: attach, model: map[uint64]uint64{}}
+	}
+	ct, err1 := ctree.New(pool)
+	rb, err2 := rbtree.New(pool)
+	bt, err3 := btree.New(pool)
+	sl, err4 := skiplist.New(pool)
+	hm, err5 := hashmap.New(pool)
+	structs := []*tracked{
+		mk("ctree", ct, err1, func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return ctree.Attach(p, a) }),
+		mk("rbtree", rb, err2, func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return rbtree.Attach(p, a) }),
+		mk("btree", bt, err3, func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return btree.Attach(p, a) }),
+		mk("skiplist", sl, err4, func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return skiplist.Attach(p, a) }),
+		mk("hashmap", hm, err5, func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return hashmap.Attach(p, a) }),
+	}
+
+	rng := rand.New(rand.NewSource(2019)) // the paper's year
+	const rounds = 6
+	const opsPerRound = 250
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < opsPerRound; i++ {
+			s := structs[rng.Intn(len(structs))]
+			k := uint64(rng.Intn(200))
+			if rng.Intn(4) == 0 {
+				ok, err := s.m.Remove(k)
+				if err != nil {
+					t.Fatalf("round %d: %s remove %d: %v", round, s.name, k, err)
+				}
+				if _, want := s.model[k]; ok != want {
+					t.Fatalf("round %d: %s remove %d = %v want %v", round, s.name, k, ok, want)
+				}
+				delete(s.model, k)
+			} else {
+				v := rng.Uint64()
+				if err := s.m.Insert(k, v); err != nil {
+					t.Fatalf("round %d: %s insert %d: %v", round, s.name, k, err)
+				}
+				s.model[k] = v
+			}
+		}
+
+		// Inject trouble into a random live structure's neighbourhood.
+		victim := structs[rng.Intn(len(structs))]
+		switch round % 3 {
+		case 0:
+			pool.InjectMediaError(victim.m.Anchor().Off)
+		case 1:
+			pool.InjectScribble(victim.m.Anchor().Off, 8, int64(round))
+			if _, err := pool.Scrub(); err != nil {
+				t.Fatalf("round %d: scrub: %v", round, err)
+			}
+		case 2:
+			// Crash and recover.
+			img := pool.Device().CrashCopy(pangolin.CrashEvictRandom, int64(round))
+			pool.Close()
+			pool, err = pangolin.OpenDevice(img, cfg, nil)
+			if err != nil {
+				t.Fatalf("round %d: reopen: %v", round, err)
+			}
+			for _, s := range structs {
+				s.m, err = s.attach(pool, s.m.Anchor())
+				if err != nil {
+					t.Fatalf("round %d: %s attach: %v", round, s.name, err)
+				}
+			}
+		}
+
+		// Full audit of every structure against its model.
+		for _, s := range structs {
+			for k := uint64(0); k < 200; k++ {
+				v, ok, err := s.m.Lookup(k)
+				if err != nil {
+					t.Fatalf("round %d: %s lookup %d: %v", round, s.name, k, err)
+				}
+				wantV, want := s.model[k]
+				if ok != want || (ok && v != wantV) {
+					t.Fatalf("round %d: %s key %d = (%d,%v), model (%d,%v)",
+						round, s.name, k, v, ok, wantV, want)
+				}
+			}
+		}
+	}
+	// Final integrity pass: nothing unrecovered, parity and checksums
+	// clean.
+	rep, err := pool.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecovered != 0 {
+		t.Fatalf("torture left %d unrecoverable objects: %+v", rep.Unrecovered, rep)
+	}
+	pool.Close()
+}
