@@ -1,0 +1,44 @@
+# Same commands CI runs — `make ci` is exactly the PR gate.
+GO ?= go
+
+.PHONY: all build vet test short race bench cover loadtest nightly ci clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# One iteration of every benchmark: checks they still run, not their numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+cover:
+	$(GO) test -short -covermode atomic -coverprofile coverage.out ./...
+	$(GO) tool cover -func coverage.out | tail -n 1
+
+# The serve → load → crash → check acceptance loop (see scripts/loadtest.sh).
+loadtest:
+	./scripts/loadtest.sh
+
+# What the nightly workflow runs: everything un-shortened, then race.
+nightly:
+	$(GO) test -timeout 90m ./...
+	$(GO) test -race -timeout 90m ./...
+
+ci: build vet test race
+
+clean:
+	rm -f coverage.out
+	rm -rf bin

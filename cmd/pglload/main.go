@@ -1,0 +1,179 @@
+// Command pglload is a closed-loop load generator for pglserve: N client
+// connections each keep exactly one request in flight until the target
+// operation count is reached, then the run is summarized as one JSON
+// object on stdout — ops/sec, latency percentiles, mix, server stats —
+// so successive PRs can track a throughput trajectory.
+//
+//	pglserve -dir /tmp/kvset -shards 4 &
+//	pglload -addr 127.0.0.1:7499 -clients 32 -ops 100000
+//
+// The workload is keys uniform in [0, -keys), with a put/get/del mix set
+// by -reads and -dels (the remainder is puts). With -crash-after the run
+// ends by sending CRASH, killing the server after it writes per-shard
+// crash images; `pglpool check <dir>/shard-*.pgl` then verifies every
+// recovered shard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pangolin-go/pangolin/server"
+)
+
+type latencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+type report struct {
+	Addr       string            `json:"addr"`
+	Clients    int               `json:"clients"`
+	Ops        uint64            `json:"ops"`
+	Errors     uint64            `json:"errors"`
+	ElapsedSec float64           `json:"elapsed_sec"`
+	OpsPerSec  float64           `json:"ops_per_sec"`
+	Latency    latencyMS         `json:"latency_ms"`
+	Mix        map[string]uint64 `json:"mix"`
+	Server     *server.Stats     `json:"server_stats,omitempty"`
+	CrashSent  bool              `json:"crash_sent"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7499", "server address")
+	clients := flag.Int("clients", 32, "concurrent closed-loop clients")
+	ops := flag.Uint64("ops", 100_000, "total operations")
+	keys := flag.Uint64("keys", 1<<16, "key space size")
+	reads := flag.Float64("reads", 0.5, "fraction of GETs")
+	dels := flag.Float64("dels", 0.1, "fraction of DELs")
+	seed := flag.Int64("seed", 1, "workload seed")
+	crashAfter := flag.Bool("crash-after", false, "send CRASH when done (server dies with crash images)")
+	flag.Parse()
+	if *reads+*dels > 1 {
+		log.Fatal("pglload: -reads + -dels exceed 1")
+	}
+
+	var (
+		opCount  atomic.Uint64 // ops claimed
+		errCount atomic.Uint64
+		gets     atomic.Uint64
+		puts     atomic.Uint64
+		delOps   atomic.Uint64
+	)
+	latencies := make([][]time.Duration, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < *clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := server.Dial(*addr)
+			if err != nil {
+				log.Printf("pglload: client %d: %v", id, err)
+				errCount.Add(1)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			lats := make([]time.Duration, 0, int(*ops/uint64(*clients)*2))
+			// Keep whatever was measured even if this client errors out
+			// mid-run, so the report reflects the ops that did execute.
+			defer func() { latencies[id] = lats }()
+			for {
+				n := opCount.Add(1)
+				if n > *ops {
+					break
+				}
+				k := rng.Uint64() % *keys
+				dice := rng.Float64()
+				t0 := time.Now()
+				var err error
+				switch {
+				case dice < *reads:
+					gets.Add(1)
+					_, _, err = c.Get(k)
+				case dice < *reads+*dels:
+					delOps.Add(1)
+					_, err = c.Del(k)
+				default:
+					puts.Add(1)
+					err = c.Put(k, rng.Uint64())
+				}
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					errCount.Add(1)
+					log.Printf("pglload: client %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := make([]time.Duration, 0, *ops)
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+
+	rep := report{
+		Addr:       *addr,
+		Clients:    *clients,
+		Ops:        uint64(len(all)),
+		Errors:     errCount.Load(),
+		ElapsedSec: elapsed.Seconds(),
+		OpsPerSec:  float64(len(all)) / elapsed.Seconds(),
+		Latency: latencyMS{
+			P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), P999: pct(0.999),
+			Max: pct(1),
+		},
+		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load()},
+	}
+
+	// Fetch server-side stats, and optionally send the simulated crash.
+	if c, err := server.Dial(*addr); err == nil {
+		if st, err := c.Stats(); err == nil {
+			rep.Server = &st
+		}
+		if *crashAfter {
+			if err := c.Crash(*seed); err != nil {
+				log.Printf("pglload: crash request: %v", err)
+			} else {
+				rep.CrashSent = true
+			}
+		}
+		c.Close()
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "pglload: %d errors\n", rep.Errors)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command pglserve serves a sharded Pangolin key-value store over TCP
+// (see server/doc.go for the protocol and design).
+//
+//	pglserve -dir /tmp/kvset -shards 4 -structure hashmap -addr :7499
+//
+// If dir holds no shard files the set is created with -shards shards of
+// -structure; otherwise the existing set is opened (crash-recovering every
+// shard) and -shards / -structure are ignored. On SIGINT/SIGTERM the
+// server syncs every shard snapshot and exits cleanly. A CRASH request
+// instead makes the process die abruptly after writing per-shard crash
+// images — the hook the load generator uses to exercise recovery.
+//
+// Startup prints one JSON line to stdout, e.g.
+//
+//	{"addr":"127.0.0.1:7499","shards":4,"structure":"hashmap","recovered":false}
+//
+// so scripts (and cmd/pglload wrappers) can discover the bound port when
+// -addr uses port 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/internal/shard"
+	"github.com/pangolin-go/pangolin/server"
+	"github.com/pangolin-go/pangolin/structures/kv/registry"
+)
+
+// modeNames deliberately omits the unprotected "pmemobj" baseline: the
+// shard layer maps its (zero) mode value to full protection, so offering
+// the name would silently serve a different mode than requested.
+var modeNames = map[string]pangolin.Mode{
+	"pangolin":      pangolin.ModePangolin,
+	"pangolin-ml":   pangolin.ModePangolinML,
+	"pangolin-mlp":  pangolin.ModePangolinMLP,
+	"pangolin-mlpc": pangolin.ModePangolinMLPC,
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7499", "listen address (port 0 picks a free port)")
+	dir := flag.String("dir", "", "shard snapshot directory (required)")
+	shards := flag.Int("shards", 4, "shard count when creating a new set")
+	structure := flag.String("structure", "hashmap", fmt.Sprintf("kv structure when creating: %v", registry.Names()))
+	mode := flag.String("mode", "pangolin-mlpc", "pool operation mode")
+	zones := flag.Uint64("zones", 8, "zones per shard pool when creating (capacity)")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "pglserve: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, ok := modeNames[*mode]
+	if !ok {
+		log.Fatalf("pglserve: unknown mode %q", *mode)
+	}
+	geo := pangolin.DefaultGeometry()
+	geo.NumZones = *zones
+	opts := shard.Options{
+		Structure: *structure,
+		Pangolin:  pangolin.Config{Mode: m, Geometry: geo},
+	}
+
+	var set *shard.Set
+	var err error
+	recovered := false
+	if _, statErr := os.Stat(pangolin.ShardFile(*dir, 0)); statErr == nil {
+		set, err = shard.Open(*dir, opts)
+		recovered = true
+	} else {
+		set, err = shard.Create(*dir, *shards, opts)
+	}
+	if err != nil {
+		log.Fatalf("pglserve: %v", err)
+	}
+
+	srv := server.New(set)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("pglserve: %v", err)
+	}
+	json.NewEncoder(os.Stdout).Encode(map[string]any{
+		"addr":      srv.Addr().String(),
+		"shards":    set.Len(),
+		"structure": set.Structure(),
+		"recovered": recovered,
+	})
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("pglserve: %v: syncing %d shards", sig, set.Len())
+		srv.Shutdown()
+		if err := set.Close(); err != nil {
+			log.Fatalf("pglserve: sync on shutdown: %v", err)
+		}
+	case <-srv.Crashed():
+		// Simulated machine death: crash images are on disk; exit
+		// without syncing so they stand as the pools' last state.
+		log.Printf("pglserve: simulated crash, dying without sync")
+		srv.Shutdown()
+		set.Abandon()
+	case err := <-serveDone:
+		set.Abandon()
+		log.Fatalf("pglserve: serve: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/pangolin-go/pangolin
+
+go 1.24

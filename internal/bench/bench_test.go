@@ -6,15 +6,24 @@ import (
 	"testing"
 )
 
-// tiny returns a configuration small enough for unit tests.
+// tiny returns a configuration small enough for unit tests. Under -short
+// (PR CI, especially the -race job) it shrinks further; every pipeline
+// still runs end to end.
 func tiny() Config {
-	return Config{
+	cfg := Config{
 		Ops:            20,
 		KVOps:          150,
 		Threads:        []int{1, 2},
 		Sizes:          []uint64{64, 1024},
 		ScrubIntervals: []uint64{100},
 	}
+	if testing.Short() {
+		cfg.Ops = 6
+		cfg.KVOps = 40
+		cfg.Threads = []int{2}
+		cfg.Sizes = []uint64{64}
+	}
+	return cfg
 }
 
 func TestFig3Smoke(t *testing.T) {

@@ -58,7 +58,13 @@ func TestCommitCrashSweep(t *testing.T) {
 			t.Parallel()
 			oldData := bytes.Repeat([]byte{0xAA}, 300)
 			newData := bytes.Repeat([]byte{0xBB}, 300)
-			for crashAt := 1; ; crashAt++ {
+			stride, seeds := 1, int64(4)
+			if testing.Short() {
+				// PR CI samples the sweep; the nightly workflow
+				// visits every crash point with every seed.
+				stride, seeds = 5, 2
+			}
+			for crashAt := 1; ; crashAt += stride {
 				geo := layout.Default()
 				dev := nvm.New(geo.PoolSize(), nvm.Options{TrackPersistence: true})
 				e, err := Create(dev, geo, Options{Mode: mode})
@@ -95,7 +101,7 @@ func TestCommitCrashSweep(t *testing.T) {
 				if !crashed && !completed {
 					t.Fatalf("crashAt=%d: neither crashed nor completed", crashAt)
 				}
-				for seed := int64(0); seed < 4; seed++ {
+				for seed := int64(0); seed < seeds; seed++ {
 					img := dev.CrashCopy(nvm.CrashEvictRandom, seed)
 					e2, err := Open(img, Options{Mode: mode}, replicaFor(e, mode))
 					if err != nil {
@@ -172,7 +178,11 @@ func TestAllocCrashSweep(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()
 			payload := bytes.Repeat([]byte{0x5A}, 200)
-			for crashAt := 1; ; crashAt++ {
+			stride := 1
+			if testing.Short() {
+				stride = 5 // nightly sweeps every crash point
+			}
+			for crashAt := 1; ; crashAt += stride {
 				geo := layout.Default()
 				dev := nvm.New(geo.PoolSize(), nvm.Options{TrackPersistence: true})
 				e, err := Create(dev, geo, Options{Mode: mode})

@@ -1,0 +1,357 @@
+// Package shard hash-partitions a uint64 key space across N independent
+// Pangolin pools so that transactions on different shards commit in
+// parallel. Pangolin transactions are per-goroutine and two concurrent
+// transactions must not modify the same object (§3.4), so the package
+// gives each shard exactly one owner goroutine (a worker) that performs
+// every pool access — data operations, snapshot saves, scrubs — and routes
+// requests to workers over channels. Concurrency scales with the shard
+// count while each pool keeps the single-writer discipline the paper
+// requires.
+//
+// Persistence uses pangolin.PoolSet: one snapshot file per shard in a
+// directory. Each shard pool's root records which kv structure the shard
+// holds, the shard's index and the set size, and the structure's anchor
+// OID, so Open can reattach and can reject a directory whose shards
+// disagree (e.g. a file restored from the wrong set).
+package shard
+
+import (
+	"fmt"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv/registry"
+)
+
+// rootMagic guards shard roots against foreign pools.
+const rootMagic uint64 = 0x5348415244303031 // "SHARD001"
+
+// rootType is the root object's Pangolin type id.
+const rootType = 0x53
+
+// shardRoot is each shard pool's persistent root object.
+type shardRoot struct {
+	Magic     uint64
+	Structure uint64 // registry ID of the kv structure
+	Index     uint64 // this shard's index
+	Count     uint64 // total shards in the set
+	MapAnchor pangolin.OID
+}
+
+// Options configures a shard set.
+type Options struct {
+	// Structure selects the kv structure by registry name; default
+	// "hashmap".
+	Structure string
+	// Pangolin configures each shard pool. A zero Mode always selects
+	// ModePangolinMLPC, the fully protected system (the unprotected
+	// pmemobj baseline is numerically zero and not selectable through a
+	// service set — a serving layer that silently dropped every
+	// protection would be a footgun).
+	Pangolin pangolin.Config
+	// QueueLen is the per-shard request queue depth; default 128.
+	QueueLen int
+}
+
+func (o *Options) structure() string {
+	if o.Structure == "" {
+		return "hashmap"
+	}
+	return o.Structure
+}
+
+func (o *Options) config() pangolin.Config {
+	cfg := o.Pangolin
+	if cfg.Mode == pangolin.ModePmemobj {
+		cfg.Mode = pangolin.ModePangolinMLPC
+	}
+	return cfg
+}
+
+func (o *Options) queueLen() int {
+	if o.QueueLen <= 0 {
+		return 128
+	}
+	return o.QueueLen
+}
+
+// Set is a sharded, concurrently usable key-value store over a
+// pangolin.PoolSet. All methods are safe for concurrent use; each
+// operation is serialized onto its shard's worker goroutine.
+type Set struct {
+	pools     *pangolin.PoolSet
+	workers   []*worker
+	structure registry.Structure
+}
+
+// Create builds a new n-shard set in dir and starts its workers.
+func Create(dir string, n int, opts Options) (*Set, error) {
+	structure, err := registry.ByName(opts.structure())
+	if err != nil {
+		return nil, err
+	}
+	// NewPoolSet defers the snapshot writes: the Sync below persists the
+	// pools once, with their roots already initialized.
+	pools, err := pangolin.NewPoolSet(dir, n, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{pools: pools, structure: structure}
+	for i := 0; i < pools.Len(); i++ {
+		p := pools.Pool(i)
+		m, err := structure.New(p)
+		if err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: new %s: %w", i, structure.Name, err)
+		}
+		if err := writeRoot(p, shardRoot{
+			Magic:     rootMagic,
+			Structure: structure.ID,
+			Index:     uint64(i),
+			Count:     uint64(n),
+			MapAnchor: m.Anchor(),
+		}); err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: root: %w", i, err)
+		}
+		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen()))
+	}
+	// Persist the freshly initialized roots and anchors.
+	if err := s.Sync(); err != nil {
+		s.Abandon()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open reopens the set in dir — running crash recovery on every shard pool
+// — reattaches each shard's structure, and starts the workers.
+// opts.Structure is ignored; the structure is read from the shard roots.
+func Open(dir string, opts Options) (*Set, error) {
+	pools, err := pangolin.OpenPoolSet(dir, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{pools: pools}
+	for i := 0; i < pools.Len(); i++ {
+		p := pools.Pool(i)
+		root, err := readRoot(p)
+		if err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if root.Index != uint64(i) || root.Count != uint64(pools.Len()) {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: root says shard %d of %d (set has %d files): shard files shuffled or mixed between sets",
+				i, root.Index, root.Count, pools.Len())
+		}
+		structure, err := registry.ByID(root.Structure)
+		if err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if i == 0 {
+			s.structure = structure
+		} else if structure.ID != s.structure.ID {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d holds %s but shard 0 holds %s", i, structure.Name, s.structure.Name)
+		}
+		m, err := structure.Attach(p, root.MapAnchor)
+		if err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: attach %s: %w", i, structure.Name, err)
+		}
+		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen()))
+	}
+	return s, nil
+}
+
+func writeRoot(p *pangolin.Pool, r shardRoot) error {
+	oid, err := pangolin.Root[shardRoot](p, rootType)
+	if err != nil {
+		return err
+	}
+	return p.Run(func(tx *pangolin.Tx) error {
+		v, err := pangolin.Open[shardRoot](tx, oid)
+		if err != nil {
+			return err
+		}
+		*v = r
+		return nil
+	})
+}
+
+func readRoot(p *pangolin.Pool) (shardRoot, error) {
+	oid, err := pangolin.Root[shardRoot](p, rootType)
+	if err != nil {
+		return shardRoot{}, err
+	}
+	v, err := pangolin.GetFromPool[shardRoot](p, oid)
+	if err != nil {
+		return shardRoot{}, err
+	}
+	if v.Magic != rootMagic {
+		return shardRoot{}, fmt.Errorf("pool is not a shard pool (magic %#x)", v.Magic)
+	}
+	return *v, nil
+}
+
+// mix is the splitmix64 finalizer: it decorrelates shard choice from key
+// patterns, so sequential keys still spread uniformly.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// ShardOf returns the shard index owning key k.
+func (s *Set) ShardOf(k uint64) int { return int(mix(k) % uint64(len(s.workers))) }
+
+// Len returns the shard count.
+func (s *Set) Len() int { return len(s.workers) }
+
+// Structure returns the name of the kv structure the shards hold.
+func (s *Set) Structure() string { return s.structure.Name }
+
+// Dir returns the set's snapshot directory.
+func (s *Set) Dir() string { return s.pools.Dir() }
+
+// Put inserts or updates k on its shard.
+func (s *Set) Put(k, v uint64) error {
+	r := s.workers[s.ShardOf(k)].do(request{op: opPut, k: k, v: v})
+	return r.err
+}
+
+// Get returns the value for k.
+func (s *Set) Get(k uint64) (uint64, bool, error) {
+	r := s.workers[s.ShardOf(k)].do(request{op: opGet, k: k})
+	return r.v, r.ok, r.err
+}
+
+// Del removes k, reporting whether it was present.
+func (s *Set) Del(k uint64) (bool, error) {
+	r := s.workers[s.ShardOf(k)].do(request{op: opDel, k: k})
+	return r.ok, r.err
+}
+
+// fanOut runs op on every worker concurrently and returns the first error.
+func (s *Set) fanOut(op uint8, seed int64) error {
+	results := make([]chan response, len(s.workers))
+	for i, w := range s.workers {
+		results[i] = w.send(request{op: op, seed: seed + int64(i)})
+	}
+	var first error
+	for i, ch := range results {
+		if r := <-ch; r.err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, r.err)
+		}
+	}
+	return first
+}
+
+// Sync saves every shard to its snapshot file. Each save runs on the
+// shard's worker goroutine, so it never races a transaction; shards save
+// in parallel.
+func (s *Set) Sync() error { return s.fanOut(opSync, 0) }
+
+// CrashSave simulates a whole-machine power failure: every shard file is
+// replaced with a crash image of its device (unpersisted lines randomly
+// evicted or reverted). The live set keeps running; reopening the
+// directory recovers the crash state.
+func (s *Set) CrashSave(seed int64) error { return s.fanOut(opCrash, seed) }
+
+// Scrub runs a scrubbing pass on every shard and returns the merged
+// report.
+func (s *Set) Scrub() (pangolin.ScrubReport, error) {
+	results := make([]chan response, len(s.workers))
+	for i, w := range s.workers {
+		results[i] = w.send(request{op: opScrub})
+	}
+	var total pangolin.ScrubReport
+	var first error
+	for i, ch := range results {
+		r := <-ch
+		if r.err != nil {
+			if first == nil {
+				first = fmt.Errorf("shard %d: %w", i, r.err)
+			}
+			continue
+		}
+		total.Objects += r.scrub.Objects
+		total.BadObjects += r.scrub.BadObjects
+		total.Repaired += r.scrub.Repaired
+		total.Unrecovered += r.scrub.Unrecovered
+		total.ParityFixes += r.scrub.ParityFixes
+		total.PagesHealed += r.scrub.PagesHealed
+	}
+	return total, first
+}
+
+// Stats snapshots per-shard and aggregate counters.
+func (s *Set) Stats() Stats {
+	st := Stats{
+		Structure: s.structure.Name,
+		NumShards: len(s.workers),
+		Shards:    make([]ShardStats, len(s.workers)),
+	}
+	results := make([]chan response, len(s.workers))
+	for i, w := range s.workers {
+		results[i] = w.send(request{op: opStats})
+	}
+	for i, ch := range results {
+		r := <-ch
+		st.Shards[i] = r.stats
+		st.Gets += r.stats.Gets
+		st.Puts += r.stats.Puts
+		st.Dels += r.stats.Dels
+		st.Hits += r.stats.Hits
+		st.Errors += r.stats.Errors
+		st.Objects += r.stats.Objects
+		st.Bytes += r.stats.Bytes
+	}
+	return st
+}
+
+// Close saves every shard and shuts the set down.
+func (s *Set) Close() error {
+	err := s.Sync()
+	s.Abandon()
+	return err
+}
+
+// Abandon shuts the set down without saving, leaving the shard files as
+// they are — after CrashSave this completes the simulated machine death.
+func (s *Set) Abandon() {
+	for _, w := range s.workers {
+		w.stop()
+	}
+	s.pools.Close()
+}
+
+// ShardStats carries one shard's counters.
+type ShardStats struct {
+	Index   int    `json:"index"`
+	Gets    uint64 `json:"gets"`
+	Puts    uint64 `json:"puts"`
+	Dels    uint64 `json:"dels"`
+	Hits    uint64 `json:"hits"`
+	Errors  uint64 `json:"errors"`
+	Objects int    `json:"objects"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Stats aggregates the set's counters.
+type Stats struct {
+	Structure string       `json:"structure"`
+	NumShards int          `json:"num_shards"`
+	Gets      uint64       `json:"gets"`
+	Puts      uint64       `json:"puts"`
+	Dels      uint64       `json:"dels"`
+	Hits      uint64       `json:"hits"`
+	Errors    uint64       `json:"errors"`
+	Objects   int          `json:"objects"`
+	Bytes     uint64       `json:"bytes"`
+	Shards    []ShardStats `json:"shards"`
+}

@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+)
+
+// TestKeyDistributionUniform checks that shard choice stays near-uniform
+// even for the adversarial sequential key pattern, across several shard
+// counts.
+func TestKeyDistributionUniform(t *testing.T) {
+	const keys = 1 << 17
+	for _, n := range []int{2, 4, 7, 8, 16} {
+		s := &Set{workers: make([]*worker, n)}
+		counts := make([]int, n)
+		for k := uint64(0); k < keys; k++ {
+			counts[s.ShardOf(k)]++
+		}
+		mean := float64(keys) / float64(n)
+		for i, c := range counts {
+			dev := (float64(c) - mean) / mean
+			if dev < -0.05 || dev > 0.05 {
+				t.Errorf("n=%d shard %d got %d keys, %.1f%% off the mean %f",
+					n, i, c, dev*100, mean)
+			}
+		}
+	}
+}
+
+// TestShardOfStable pins the key→shard mapping: it is persisted implicitly
+// in which pool holds which key, so changing mix() would orphan data in
+// existing sets.
+func TestShardOfStable(t *testing.T) {
+	s := &Set{workers: make([]*worker, 4)}
+	want := map[uint64]int{0: 0, 1: 1, 2: 2, 1 << 40: 0, ^uint64(0): 3}
+	for k, shard := range want {
+		if got := s.ShardOf(k); got != shard {
+			t.Errorf("ShardOf(%d) = %d, want %d (mix() changed? that breaks existing sets)",
+				k, got, shard)
+		}
+	}
+}
+
+func newSet(t *testing.T, dir string, n int, opts Options) *Set {
+	t.Helper()
+	s, err := Create(dir, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCreateOpenRoundTrip covers the clean path: create, populate, close,
+// reopen, verify data and root metadata.
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newSet(t, dir, 3, Options{Structure: "btree"})
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		k, v := uint64(rng.Intn(300)), rng.Uint64()
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = v
+	}
+	for k := range model {
+		if k%3 == 0 {
+			ok, err := s.Del(k)
+			if err != nil || !ok {
+				t.Fatalf("del %d: %v %v", k, ok, err)
+			}
+			delete(model, k)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Abandon()
+	if s2.Structure() != "btree" {
+		t.Fatalf("reopened structure %q, want btree", s2.Structure())
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("reopened %d shards, want 3", s2.Len())
+	}
+	for k := uint64(0); k < 300; k++ {
+		v, ok, err := s2.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, want := model[k]
+		if ok != want || (ok && v != wantV) {
+			t.Fatalf("key %d = (%d,%v), want (%d,%v)", k, v, ok, wantV, want)
+		}
+	}
+	st := s2.Stats()
+	if st.NumShards != 3 || len(st.Shards) != 3 {
+		t.Fatalf("stats shards = %d/%d, want 3", st.NumShards, len(st.Shards))
+	}
+	if st.Gets != 300 {
+		t.Fatalf("stats gets = %d, want 300", st.Gets)
+	}
+	if st.Objects == 0 {
+		t.Fatal("stats report zero live objects after inserts")
+	}
+}
+
+// TestShardLocalRecovery simulates a machine crash: committed data must
+// survive each shard's crash image, recovery must reattach every shard,
+// and a scrub must find nothing unrecoverable.
+func TestShardLocalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := newSet(t, dir, 4, Options{})
+	model := map[uint64]uint64{}
+	for k := uint64(0); k < 400; k++ {
+		v := k * 2718281828459045
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = v
+	}
+	// Power fails on the whole machine; the process dies without a sync.
+	if err := s.CrashSave(42); err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Abandon()
+	for k, want := range model {
+		v, ok, err := s2.Get(k)
+		if err != nil {
+			t.Fatalf("key %d after recovery: %v", k, err)
+		}
+		if !ok || v != want {
+			t.Fatalf("key %d after recovery = (%d,%v), want (%d,true): committed data lost", k, v, ok, want)
+		}
+	}
+	rep, err := s2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecovered != 0 {
+		t.Fatalf("scrub after recovery: %d unrecoverable objects (%+v)", rep.Unrecovered, rep)
+	}
+	if rep.Objects == 0 {
+		t.Fatal("scrub after recovery examined zero objects")
+	}
+}
+
+// TestCrashDuringLoadRecovers crashes while writers are mid-flight: every
+// shard must reopen and pass scrub, and every key the test observed as
+// committed before the crash snapshot must be present.
+func TestCrashDuringLoadRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := newSet(t, dir, 2, Options{})
+	var committed sync.Map
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := uint64(g) << 32; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Put(k, k^0xDEAD); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					return
+				}
+				committed.Store(k, k^0xDEAD)
+			}
+		}(g)
+	}
+	// Let some writes land, then snapshot a crash image while writers run.
+	for {
+		st := s.Stats()
+		if st.Puts >= 200 {
+			break
+		}
+	}
+	// Freeze the committed set BEFORE crashing: everything committed by
+	// now is durable, so it must appear in every shard's later crash
+	// image. (Keys committed during/after CrashSave may or may not make
+	// their shard's snapshot, so they are not checked.)
+	frozen := map[uint64]uint64{}
+	committed.Range(func(k, v any) bool {
+		frozen[k.(uint64)] = v.(uint64)
+		return true
+	})
+	if err := s.CrashSave(7); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	s.Abandon()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Abandon()
+	rep, err := s2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecovered != 0 {
+		t.Fatalf("scrub after mid-load crash: %d unrecoverable (%+v)", rep.Unrecovered, rep)
+	}
+	for k, want := range frozen {
+		v, ok, err := s2.Get(k)
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		if !ok || v != want {
+			t.Fatalf("pre-crash key %d = (%d,%v), want (%d,true): committed data lost", k, v, ok, want)
+		}
+	}
+}
+
+// TestConcurrentPutGetAcrossShards hammers one set from many goroutines
+// with disjoint key ranges; run under -race this checks the worker
+// channel discipline.
+func TestConcurrentPutGetAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	s := newSet(t, dir, 4, Options{Structure: "skiplist"})
+	defer s.Abandon()
+	const goroutines = 8
+	ops := 300
+	if testing.Short() {
+		ops = 100
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * 1_000_000
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < ops; i++ {
+				k := base + uint64(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Uint64()
+					if err := s.Put(k, v); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					model[k] = v
+				case 1:
+					ok, err := s.Del(k)
+					if err != nil {
+						t.Errorf("del: %v", err)
+						return
+					}
+					if _, want := model[k]; ok != want {
+						t.Errorf("del %d = %v, want %v", k, ok, want)
+						return
+					}
+					delete(model, k)
+				case 2:
+					v, ok, err := s.Get(k)
+					if err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+					wantV, want := model[k]
+					if ok != want || (ok && v != wantV) {
+						t.Errorf("get %d = (%d,%v), want (%d,%v)", k, v, ok, wantV, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Errors != 0 {
+		t.Fatalf("stats report %d errors", st.Errors)
+	}
+}
+
+// TestOpenRejectsShuffledFiles swaps two shard files; the roots record
+// each shard's index, so Open must refuse the directory.
+func TestOpenRejectsShuffledFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := newSet(t, dir, 2, Options{})
+	if err := s.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := pangolin.ShardFile(dir, 0), pangolin.ShardFile(dir, 1)
+	tmp := filepath.Join(dir, "tmp")
+	for _, mv := range [][2]string{{a, tmp}, {b, a}, {tmp, b}} {
+		if err := os.Rename(mv[0], mv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a directory with shuffled shard files")
+	}
+}
+
+// TestUseAfterClose: operations on a closed set fail cleanly instead of
+// hanging or panicking.
+func TestUseAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s := newSet(t, dir, 2, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, 1); err == nil {
+		t.Fatal("Put on closed set succeeded")
+	}
+	if _, _, err := s.Get(1); err == nil {
+		t.Fatal("Get on closed set succeeded")
+	}
+}

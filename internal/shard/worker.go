@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+)
+
+// Worker operations.
+const (
+	opPut uint8 = iota + 1
+	opGet
+	opDel
+	opStats
+	opSync  // save this shard's snapshot file
+	opCrash // write a crash image over this shard's snapshot file
+	opScrub
+)
+
+type request struct {
+	op    uint8
+	k, v  uint64
+	seed  int64
+	reply chan response
+}
+
+type response struct {
+	v     uint64
+	ok    bool
+	err   error
+	stats ShardStats
+	scrub pangolin.ScrubReport
+}
+
+// worker owns one shard: its pool, its kv structure, and the only
+// goroutine that ever touches them (§3.4 single-writer discipline). It
+// also owns the shard's snapshot file via the PoolSet, so saves and data
+// transactions cannot interleave.
+type worker struct {
+	idx   int
+	pools *pangolin.PoolSet
+	pool  *pangolin.Pool
+	m     kv.Map
+
+	mu     sync.RWMutex // guards closed; held (shared) across enqueues
+	closed bool
+	reqs   chan request
+	exited chan struct{}
+
+	// Counters, touched only by the worker goroutine.
+	gets, puts, dels, hits, errs uint64
+}
+
+func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m kv.Map, queueLen int) *worker {
+	w := &worker{
+		idx:    idx,
+		pools:  pools,
+		pool:   pool,
+		m:      m,
+		reqs:   make(chan request, queueLen),
+		exited: make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// send enqueues req and returns its reply channel. The read lock spans the
+// channel send so stop() cannot close reqs between the closed check and
+// the enqueue.
+func (w *worker) send(req request) chan response {
+	req.reply = make(chan response, 1)
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		req.reply <- response{err: fmt.Errorf("shard %d: closed", w.idx)}
+		return req.reply
+	}
+	w.reqs <- req
+	w.mu.RUnlock()
+	return req.reply
+}
+
+// do enqueues req and waits for the response.
+func (w *worker) do(req request) response { return <-w.send(req) }
+
+// stop shuts the worker down after every enqueued request has been
+// answered; the pool is safe to close once stop returns.
+func (w *worker) stop() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.reqs)
+	<-w.exited
+}
+
+func (w *worker) loop() {
+	defer close(w.exited)
+	for req := range w.reqs {
+		req.reply <- w.handle(req)
+	}
+}
+
+func (w *worker) handle(req request) response {
+	switch req.op {
+	case opPut:
+		w.puts++
+		err := w.m.Insert(req.k, req.v)
+		if err != nil {
+			w.errs++
+		}
+		return response{err: err}
+	case opGet:
+		w.gets++
+		v, ok, err := w.m.Lookup(req.k)
+		if err != nil {
+			w.errs++
+		}
+		if ok {
+			w.hits++
+		}
+		return response{v: v, ok: ok, err: err}
+	case opDel:
+		w.dels++
+		ok, err := w.m.Remove(req.k)
+		if err != nil {
+			w.errs++
+		}
+		return response{ok: ok, err: err}
+	case opStats:
+		live := w.pool.LiveObjects()
+		return response{stats: ShardStats{
+			Index:   w.idx,
+			Gets:    w.gets,
+			Puts:    w.puts,
+			Dels:    w.dels,
+			Hits:    w.hits,
+			Errors:  w.errs,
+			Objects: live.Objects,
+			Bytes:   live.Bytes,
+		}}
+	case opSync:
+		return response{err: w.pools.SaveShard(w.idx)}
+	case opCrash:
+		return response{err: w.pools.CrashSaveShard(w.idx, pangolin.CrashEvictRandom, req.seed)}
+	case opScrub:
+		rep, err := w.pool.Scrub()
+		return response{scrub: rep, err: err}
+	default:
+		return response{err: fmt.Errorf("shard %d: unknown op %d", w.idx, req.op)}
+	}
+}

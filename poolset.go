@@ -1,0 +1,184 @@
+package pangolin
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// PoolSet manages a family of sibling pools ("shards") that persist as one
+// snapshot file per shard inside a directory. Sharding is Pangolin's
+// scaling mechanism for concurrent services: transactions are
+// per-goroutine and two concurrent transactions must not touch the same
+// object (§3.4), so a service that wants parallel commits partitions its
+// data across independent pools and gives each pool a single owner
+// goroutine. internal/shard builds that worker layer; PoolSet supplies the
+// storage substrate: create/open/close of the whole set and
+// snapshot-per-shard durability.
+//
+// Shard files are named shard-0000.pgl, shard-0001.pgl, … so a set's
+// directory is self-describing: OpenPoolSet discovers the shard count from
+// the files present.
+type PoolSet struct {
+	dir   string
+	pools []*Pool
+}
+
+// ShardFile returns the snapshot path of shard i within dir.
+func ShardFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.pgl", i))
+}
+
+// NewPoolSet creates n fresh pools for dir (created if missing) without
+// writing any shard files: the set is not durable until Save. It refuses
+// to overwrite an existing set. Callers that initialize pool contents
+// right after creation (as internal/shard does with its roots) use this to
+// pay for one snapshot write instead of two.
+func NewPoolSet(dir string, n int, cfg Config) (*PoolSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pangolin: pool set needs at least 1 shard, got %d", n)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	if existing, err := shardFiles(dir); err != nil {
+		return nil, err
+	} else if len(existing) > 0 {
+		return nil, fmt.Errorf("pangolin: pool set already exists in %s (%d shard files)", dir, len(existing))
+	}
+	s := &PoolSet{dir: dir, pools: make([]*Pool, 0, n)}
+	for i := 0; i < n; i++ {
+		p, err := Create(cfg)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: create shard %d: %w", i, err)
+		}
+		s.pools = append(s.pools, p)
+	}
+	return s, nil
+}
+
+// CreatePoolSet is NewPoolSet followed by Save: the returned set is
+// immediately durable.
+func CreatePoolSet(dir string, n int, cfg Config) (*PoolSet, error) {
+	s, err := NewPoolSet(dir, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Save(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenPoolSet opens every shard file in dir, running crash recovery on
+// each pool. The shard count comes from the files present; they must be
+// contiguously numbered from zero.
+func OpenPoolSet(dir string, cfg Config) (*PoolSet, error) {
+	files, err := shardFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("pangolin: no shard files in %s", dir)
+	}
+	s := &PoolSet{dir: dir}
+	for i := range files {
+		want := ShardFile(dir, i)
+		if files[i] != want {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: shard files not contiguous: have %s, want %s", files[i], want)
+		}
+		p, err := LoadFile(want, cfg)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: open shard %d: %w", i, err)
+		}
+		s.pools = append(s.pools, p)
+	}
+	return s, nil
+}
+
+func shardFiles(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.pgl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Len returns the number of shards.
+func (s *PoolSet) Len() int { return len(s.pools) }
+
+// Pool returns shard i's pool.
+func (s *PoolSet) Pool(i int) *Pool { return s.pools[i] }
+
+// Dir returns the set's directory.
+func (s *PoolSet) Dir() string { return s.dir }
+
+// SaveShard persists shard i to its snapshot file. The shard must have no
+// transaction in flight; in a sharded service, call from the shard's owner
+// goroutine.
+func (s *PoolSet) SaveShard(i int) error {
+	return s.pools[i].SaveFile(ShardFile(s.dir, i))
+}
+
+// Save persists every shard. No transactions may be in flight on any
+// shard.
+func (s *PoolSet) Save() error {
+	for i := range s.pools {
+		if err := s.SaveShard(i); err != nil {
+			return fmt.Errorf("pangolin: save shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CrashSaveShard simulates a power failure on shard i: it writes a crash
+// image of the shard's device — unpersisted cache lines treated per mode —
+// to the shard file, without disturbing the live pool. Reopening the file
+// runs crash recovery, exactly as a machine restart would.
+func (s *PoolSet) CrashSaveShard(i int, mode CrashMode, seed int64) error {
+	img := s.pools[i].Device().CrashCopy(mode, seed)
+	return img.SaveFile(ShardFile(s.dir, i))
+}
+
+// CrashSave simulates a whole-machine power failure: every shard file is
+// replaced by a crash image of its device. Distinct seeds per shard keep
+// the eviction outcomes independent.
+func (s *PoolSet) CrashSave(mode CrashMode, seed int64) error {
+	for i := range s.pools {
+		if err := s.CrashSaveShard(i, mode, seed+int64(i)); err != nil {
+			return fmt.Errorf("pangolin: crash-save shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Scrub runs a scrubbing pass over every shard, returning one report per
+// shard. No transactions may be in flight.
+func (s *PoolSet) Scrub() ([]ScrubReport, error) {
+	reports := make([]ScrubReport, len(s.pools))
+	for i, p := range s.pools {
+		rep, err := p.Scrub()
+		if err != nil {
+			return reports, fmt.Errorf("pangolin: scrub shard %d: %w", i, err)
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}
+
+// Close shuts every shard pool down without saving. Call Save first for a
+// clean shutdown; skip it to model a crash.
+func (s *PoolSet) Close() {
+	for _, p := range s.pools {
+		if p != nil {
+			p.Close()
+		}
+	}
+	s.pools = nil
+}

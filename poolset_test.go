@@ -1,0 +1,145 @@
+package pangolin_test
+
+import (
+	"os"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+)
+
+// TestPoolSetLifecycle covers create → write → save → close → open with
+// data in distinct pools, plus the guard against overwriting a set.
+func TestPoolSetLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pangolin.DefaultConfig()
+	s, err := pangolin.CreatePoolSet(dir, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	type root struct{ Value uint64 }
+	for i := 0; i < s.Len(); i++ {
+		p := s.Pool(i)
+		oid, err := pangolin.Root[root](p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		if err := p.Run(func(tx *pangolin.Tx) error {
+			r, err := pangolin.Open[root](tx, oid)
+			if err != nil {
+				return err
+			}
+			r.Value = 100 + uint64(i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := pangolin.CreatePoolSet(dir, 2, cfg); err == nil {
+		t.Fatal("CreatePoolSet overwrote an existing set")
+	}
+
+	s2, err := pangolin.OpenPoolSet(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("reopened Len = %d, want 3", s2.Len())
+	}
+	for i := 0; i < s2.Len(); i++ {
+		p := s2.Pool(i)
+		oid, err := pangolin.Root[root](p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pangolin.GetFromPool[root](p, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value != 100+uint64(i) {
+			t.Fatalf("pool %d root = %d, want %d", i, r.Value, 100+uint64(i))
+		}
+	}
+	if reports, err := s2.Scrub(); err != nil {
+		t.Fatal(err)
+	} else if len(reports) != 3 {
+		t.Fatalf("scrub returned %d reports, want 3", len(reports))
+	}
+}
+
+// TestPoolSetCrashSave: crash images must reopen through recovery and keep
+// committed data.
+func TestPoolSetCrashSave(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pangolin.DefaultConfig()
+	s, err := pangolin.CreatePoolSet(dir, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type root struct{ Value uint64 }
+	oids := make([]pangolin.OID, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		p := s.Pool(i)
+		oids[i], err = pangolin.Root[root](p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(func(tx *pangolin.Tx) error {
+			r, err := pangolin.Open[root](tx, oids[i])
+			if err != nil {
+				return err
+			}
+			r.Value = 4242
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CrashSave(pangolin.CrashEvictRandom, 99); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // no Save: the crash images must stand on their own
+
+	s2, err := pangolin.OpenPoolSet(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < s2.Len(); i++ {
+		r, err := pangolin.GetFromPool[root](s2.Pool(i), oids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value != 4242 {
+			t.Fatalf("pool %d lost committed root value: %d", i, r.Value)
+		}
+	}
+}
+
+// TestOpenPoolSetErrors: empty and gapped directories are rejected.
+func TestOpenPoolSetErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := pangolin.OpenPoolSet(dir, pangolin.DefaultConfig()); err == nil {
+		t.Fatal("OpenPoolSet accepted an empty directory")
+	}
+	s, err := pangolin.CreatePoolSet(dir, 2, pangolin.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(pangolin.ShardFile(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pangolin.OpenPoolSet(dir, pangolin.DefaultConfig()); err == nil {
+		t.Fatal("OpenPoolSet accepted a directory with a missing shard")
+	}
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# loadtest.sh — the serve → load → crash → check acceptance loop.
+#
+# Boots pglserve with $SHARDS shards, drives it with $CLIENTS closed-loop
+# clients for $OPS operations, sends a simulated machine crash, then
+# verifies every shard snapshot with `pglpool check`. The load report
+# (ops/sec, latency percentiles, server stats) is copied to stdout and
+# left in $WORKDIR/load.json.
+set -euo pipefail
+
+SHARDS=${SHARDS:-4}
+CLIENTS=${CLIENTS:-32}
+OPS=${OPS:-100000}
+WORKDIR=${WORKDIR:-$(mktemp -d /tmp/pgl-loadtest.XXXXXX)}
+
+cd "$(dirname "$0")/.."
+mkdir -p bin
+go build -o bin ./cmd/...
+
+echo "# loadtest: $SHARDS shards, $CLIENTS clients, $OPS ops (workdir $WORKDIR)" >&2
+./bin/pglserve -dir "$WORKDIR/kvset" -shards "$SHARDS" -addr 127.0.0.1:0 \
+    >"$WORKDIR/serve.json" 2>"$WORKDIR/serve.log" &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+
+# Wait for the startup line and extract the bound address.
+for _ in $(seq 100); do
+    [ -s "$WORKDIR/serve.json" ] && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$WORKDIR/serve.json")
+if [ -z "$ADDR" ]; then
+    echo "loadtest: server did not start:" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+
+./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops "$OPS" -crash-after \
+    | tee "$WORKDIR/load.json"
+
+# The crash request kills the server; wait for it to die.
+wait "$SERVE_PID" || true
+trap - EXIT
+
+# Every shard must reopen and pass scrub.
+status=0
+for f in "$WORKDIR"/kvset/shard-*.pgl; do
+    if ! ./bin/pglpool check "$f"; then
+        echo "loadtest: FAILED pglpool check: $f" >&2
+        status=1
+    fi
+done
+
+errors=$(sed -n 's/.*"errors": \([0-9]*\),.*/\1/p' "$WORKDIR/load.json" | head -n 1)
+if [ "${errors:-1}" != "0" ]; then
+    echo "loadtest: FAILED with $errors client errors" >&2
+    status=1
+fi
+[ "$status" = 0 ] && echo "# loadtest: OK" >&2
+exit $status

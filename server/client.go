@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// ErrClientClosed reports use of a closed Client.
+var ErrClientClosed = errors.New("server: client closed")
+
+// Client is a synchronous connection to a KV server. One Client serves one
+// goroutine at a time; open one Client per concurrent worker (the load
+// generator's closed-loop clients do exactly that).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte // reusable frame buffer
+}
+
+// Dial connects to a KV server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip sends req and returns the response status and body. The body
+// aliases the client's reusable buffer: it is valid until the next call.
+func (c *Client) roundTrip(req Request) (uint8, []byte, error) {
+	if c.conn == nil {
+		return 0, nil, ErrClientClosed
+	}
+	payload, err := EncodeRequest(c.buf[:0], req)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := WriteFrame(c.bw, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	resp, err := ReadFrame(c.br, payload[:0])
+	if err != nil {
+		return 0, nil, err
+	}
+	c.buf = resp
+	status, body, err := DecodeResponse(resp)
+	if err != nil {
+		return 0, nil, err
+	}
+	if status == StatusErr {
+		return status, nil, fmt.Errorf("server: %s", body)
+	}
+	return status, body, nil
+}
+
+// Get fetches the value for k.
+func (c *Client) Get(k uint64) (uint64, bool, error) {
+	status, body, err := c.roundTrip(Request{Op: OpGet, Key: k})
+	if err != nil {
+		return 0, false, err
+	}
+	if status == StatusNotFound {
+		return 0, false, nil
+	}
+	if len(body) != 8 {
+		return 0, false, fmt.Errorf("server: GET response body of %d bytes", len(body))
+	}
+	return binary.BigEndian.Uint64(body), true, nil
+}
+
+// Put inserts or updates k.
+func (c *Client) Put(k, v uint64) error {
+	_, _, err := c.roundTrip(Request{Op: OpPut, Key: k, Val: v})
+	return err
+}
+
+// Del removes k, reporting whether it was present.
+func (c *Client) Del(k uint64) (bool, error) {
+	status, _, err := c.roundTrip(Request{Op: OpDel, Key: k})
+	if err != nil {
+		return false, err
+	}
+	return status == StatusOK, nil
+}
+
+// Stats fetches the server's shard statistics.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	_, body, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("server: decoding stats: %w", err)
+	}
+	return st, nil
+}
+
+// Sync asks the server to save every shard snapshot.
+func (c *Client) Sync() error {
+	_, _, err := c.roundTrip(Request{Op: OpSync})
+	return err
+}
+
+// Crash asks the server to simulate a machine crash: every shard file is
+// replaced with a crash image, and the server process is expected to die
+// without syncing. The call returns once the images are written.
+func (c *Client) Crash(seed int64) error {
+	_, _, err := c.roundTrip(Request{Op: OpCrash, Key: uint64(seed)})
+	return err
+}

@@ -1,0 +1,68 @@
+// Package server exposes a shard.Set — the six persistent key-value
+// structures of §4.5, hash-partitioned across independent Pangolin pools —
+// as a concurrent network service, with a matching Client. It is the
+// serving layer the ROADMAP's production trajectory builds on: cmd/pglserve
+// wraps it in a binary and cmd/pglload drives it closed-loop.
+//
+// # Why sharding
+//
+// Pangolin transactions are per-goroutine, and two concurrent transactions
+// must not modify the same object (§3.4); a single pool therefore
+// serializes writers. The service scales by hash-partitioning the key
+// space across N pools (internal/shard): each shard pool is owned by
+// exactly one worker goroutine, every operation is routed to its shard's
+// worker over a channel, and transactions on different shards commit in
+// parallel. Adding shards adds commit parallelism without weakening any
+// of the paper's protection mechanisms, because each pool keeps its own
+// checksums, parity, and logs.
+//
+// Keys choose their shard via the splitmix64 finalizer modulo the shard
+// count, so sequential key patterns still spread uniformly. The mapping is
+// stable — it determines which pool holds which key — and each shard
+// pool's root records the structure, the shard index, and the set size, so
+// reopening detects shuffled or foreign shard files.
+//
+// Durability is snapshot-per-shard (pangolin.PoolSet): shard i persists as
+// dir/shard-000i.pgl. SYNC saves every shard from its own worker, so a
+// save never races a transaction. CRASH writes a *crash image* of every
+// shard instead — unpersisted cache lines randomly evicted or reverted,
+// exactly like a power failure — after which the process is expected to
+// exit without syncing; reopening the directory runs per-shard crash
+// recovery. Every shard file is a standard pool snapshot, so
+// `pglpool check` can verify and repair each one independently.
+//
+// # Wire protocol
+//
+// The protocol is length-prefixed binary over TCP. Every message is one
+// frame:
+//
+//	frame    := length(uint32 BE) payload          length excludes itself
+//	request  := op(1 B) field*                     field = uint64 BE
+//	response := status(1 B) body*
+//
+// Requests (field layout after the opcode byte):
+//
+//	GET   (1)  key                 value lookup
+//	PUT   (2)  key value           insert or update
+//	DEL   (3)  key                 delete
+//	STATS (4)  —                   per-shard and aggregate counters
+//	SYNC  (5)  —                   save all shard snapshots
+//	CRASH (6)  seed                simulate machine power failure
+//
+// Responses:
+//
+//	OK        (0)  GET → value(uint64 BE); STATS → JSON (shard.Stats);
+//	               PUT, DEL, SYNC, CRASH → empty
+//	NOT_FOUND (1)  GET or DEL of an absent key; empty body
+//	ERR       (2)  body is a UTF-8 error message
+//
+// Requests on one connection are answered in order; concurrency comes
+// from concurrent connections, which matches the closed-loop client model
+// (one in-flight request per client). Pipelining works — the server reads
+// the next request as soon as the previous response is on the wire and
+// only flushes when the connection goes idle — but ordering is still
+// per-connection.
+//
+// Frames are capped at 1 MB (MaxFrame); a larger length prefix is treated
+// as a corrupt stream and the connection is dropped.
+package server

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: every message is a length-prefixed frame.
+//
+//	frame   := length(uint32 BE) payload
+//	request := op(1 B) fields…          fields are uint64 BE
+//	response:= status(1 B) body…
+//
+// See doc.go for the full grammar. The frame length covers the payload
+// only, not the 4-byte prefix.
+
+// Request opcodes.
+const (
+	OpGet   uint8 = 1 // key → value
+	OpPut   uint8 = 2 // key, value
+	OpDel   uint8 = 3 // key
+	OpStats uint8 = 4 // → JSON body
+	OpSync  uint8 = 5 // save every shard snapshot
+	OpCrash uint8 = 6 // seed → write crash images, then the server dies
+)
+
+// Response status codes.
+const (
+	StatusOK       uint8 = 0
+	StatusNotFound uint8 = 1
+	StatusErr      uint8 = 2 // body is a UTF-8 message
+)
+
+// MaxFrame bounds a frame payload; stats JSON for even thousands of shards
+// stays far below it, so anything larger is a corrupt or hostile stream.
+const MaxFrame = 1 << 20
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, reusing buf when it is large enough.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// Request is a decoded client request. Single-field ops (OpGet, OpDel,
+// OpCrash) carry their field — key or seed — in Key.
+type Request struct {
+	Op  uint8
+	Key uint64
+	Val uint64 // OpPut only
+}
+
+// fieldCount returns how many uint64 fields op carries.
+func fieldCount(op uint8) (int, error) {
+	switch op {
+	case OpGet, OpDel:
+		return 1, nil
+	case OpPut:
+		return 2, nil
+	case OpStats, OpSync:
+		return 0, nil
+	case OpCrash:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("server: unknown opcode %d", op)
+	}
+}
+
+// EncodeRequest appends req's wire form to b.
+func EncodeRequest(b []byte, req Request) ([]byte, error) {
+	n, err := fieldCount(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, req.Op)
+	if n >= 1 {
+		b = appendU64(b, req.Key)
+	}
+	if n >= 2 {
+		b = appendU64(b, req.Val)
+	}
+	return b, nil
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) < 1 {
+		return Request{}, fmt.Errorf("server: empty request")
+	}
+	req := Request{Op: p[0]}
+	n, err := fieldCount(req.Op)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(p) != 1+8*n {
+		return Request{}, fmt.Errorf("server: op %d wants %d bytes, got %d", req.Op, 1+8*n, len(p))
+	}
+	if n >= 1 {
+		req.Key = binary.BigEndian.Uint64(p[1:])
+	}
+	if n >= 2 {
+		req.Val = binary.BigEndian.Uint64(p[9:])
+	}
+	return req, nil
+}
+
+// EncodeResponse appends a response payload to b: status, then body.
+func EncodeResponse(b []byte, status uint8, body []byte) []byte {
+	b = append(b, status)
+	return append(b, body...)
+}
+
+// DecodeResponse splits a response payload into status and body.
+func DecodeResponse(p []byte) (uint8, []byte, error) {
+	if len(p) < 1 {
+		return 0, nil, fmt.Errorf("server: empty response")
+	}
+	return p[0], p[1:], nil
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pangolin-go/pangolin/internal/shard"
+)
+
+// Stats is the payload of a STATS response.
+type Stats = shard.Stats
+
+// Server serves the KV protocol over TCP on top of a shard.Set. It owns
+// the network side only: the set is created and closed by the caller, so a
+// simulated crash can abandon the set while the process decides how to
+// die.
+type Server struct {
+	set *shard.Set
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closing atomic.Bool
+
+	crashOnce sync.Once
+	crashed   chan struct{}
+}
+
+// New wraps set in a server.
+func New(set *shard.Set) *Server {
+	return &Server{
+		set:     set,
+		conns:   make(map[net.Conn]struct{}),
+		crashed: make(chan struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7499"; port 0 picks a free port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Addr returns the bound address; call after Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown; it returns nil on a clean
+// shutdown.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown stops accepting, closes every connection, and waits for the
+// handlers to finish. It does not touch the shard set.
+func (s *Server) Shutdown() {
+	s.closing.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Crashed is closed after an OpCrash request has written crash images for
+// every shard. The process owner should then exit WITHOUT syncing the set,
+// completing the simulated machine death.
+func (s *Server) Crashed() <-chan struct{} { return s.crashed }
+
+// serveConn runs one connection's request loop. Requests on a connection
+// are processed in order; concurrency comes from concurrent connections.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var in, out []byte
+	for {
+		payload, err := ReadFrame(br, in)
+		if err != nil {
+			return // EOF or broken conn; nothing to answer
+		}
+		in = payload
+		var crashed bool
+		out, crashed = s.handle(out[:0], payload)
+		if err := WriteFrame(bw, out); err != nil {
+			return
+		}
+		// Flush eagerly unless the client has already pipelined more
+		// requests onto the wire; always flush before announcing a
+		// crash, since the announcement tears connections down.
+		if br.Buffered() == 0 || crashed {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if crashed {
+			// Signal only after the OK response is on the wire, so
+			// the requesting client sees its answer before the
+			// process owner starts killing connections.
+			s.crashOnce.Do(func() { close(s.crashed) })
+		}
+	}
+}
+
+// handle executes one request payload and appends the response payload to
+// out. The second result reports that this request was a successful
+// OpCrash, which the connection loop announces after flushing.
+func (s *Server) handle(out, payload []byte) ([]byte, bool) {
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+	}
+	switch req.Op {
+	case OpGet:
+		v, ok, err := s.set.Get(req.Key)
+		if err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		if !ok {
+			return EncodeResponse(out, StatusNotFound, nil), false
+		}
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], v)
+		return EncodeResponse(out, StatusOK, body[:]), false
+	case OpPut:
+		if err := s.set.Put(req.Key, req.Val); err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		return EncodeResponse(out, StatusOK, nil), false
+	case OpDel:
+		ok, err := s.set.Del(req.Key)
+		if err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		if !ok {
+			return EncodeResponse(out, StatusNotFound, nil), false
+		}
+		return EncodeResponse(out, StatusOK, nil), false
+	case OpStats:
+		body, err := json.Marshal(s.set.Stats())
+		if err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		return EncodeResponse(out, StatusOK, body), false
+	case OpSync:
+		if err := s.set.Sync(); err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		return EncodeResponse(out, StatusOK, nil), false
+	case OpCrash:
+		if err := s.set.CrashSave(int64(req.Key)); err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		return EncodeResponse(out, StatusOK, nil), true
+	default:
+		return EncodeResponse(out, StatusErr, []byte(fmt.Sprintf("unknown op %d", req.Op))), false
+	}
+}

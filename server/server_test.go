@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"github.com/pangolin-go/pangolin/internal/shard"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpGet, Key: 42},
+		{Op: OpPut, Key: 1, Val: ^uint64(0)},
+		{Op: OpDel, Key: 0},
+		{Op: OpStats},
+		{Op: OpSync},
+		{Op: OpCrash, Key: uint64(7)},
+	}
+	for _, want := range cases {
+		p, err := EncodeRequest(nil, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRequest(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %+v → %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	for _, p := range [][]byte{
+		nil,
+		{99},                            // unknown op
+		{OpGet},                         // missing key
+		{OpPut, 0, 0, 0, 0, 0, 0, 0, 0}, // missing value
+		append([]byte{OpStats}, 1),      // trailing bytes
+	} {
+		if _, err := DecodeRequest(p); err == nil {
+			t.Errorf("DecodeRequest(%v) accepted garbage", p)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 9000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %x → %x", want, got)
+		}
+		scratch = got
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf, nil); err == nil {
+		t.Fatal("ReadFrame accepted a 4 GB frame header")
+	}
+}
+
+// startServer boots a server over a fresh 2-shard set and returns its
+// address. Cleanup tears the network down and abandons the set.
+func startServer(t *testing.T, dir string, shards int) (*Server, string) {
+	t.Helper()
+	set, err := shard.Create(dir, shards, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(set)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		set.Abandon()
+	})
+	return srv, srv.Addr().String()
+}
+
+func TestServerBasicOps(t *testing.T) {
+	_, addr := startServer(t, t.TempDir(), 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, ok, err := c.Get(5); err != nil || ok {
+		t.Fatalf("get absent = %v, %v", ok, err)
+	}
+	if err := c.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get(5); err != nil || !ok || v != 50 {
+		t.Fatalf("get 5 = (%d,%v,%v), want (50,true,nil)", v, ok, err)
+	}
+	if ok, err := c.Del(5); err != nil || !ok {
+		t.Fatalf("del 5 = %v, %v", ok, err)
+	}
+	if ok, err := c.Del(5); err != nil || ok {
+		t.Fatalf("del absent = %v, %v", ok, err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards != 2 || st.Puts != 1 || st.Gets != 2 || st.Dels != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServerRejectsMalformedFrame(t *testing.T) {
+	_, addr := startServer(t, t.TempDir(), 2)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, []byte{99, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, err := DecodeResponse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusErr {
+		t.Fatalf("status = %d, want StatusErr", status)
+	}
+	// The server answers good requests on the same connection afterwards.
+	req, _ := EncodeRequest(nil, Request{Op: OpPut, Key: 1, Val: 2})
+	if err := WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	p, err = ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ = DecodeResponse(p); status != StatusOK {
+		t.Fatalf("put after bad frame: status %d", status)
+	}
+}
+
+func TestClientAfterClose(t *testing.T) {
+	_, addr := startServer(t, t.TempDir(), 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, 1); err == nil {
+		t.Fatal("Put on closed client succeeded")
+	}
+}

@@ -1,0 +1,82 @@
+// Package registry names the six persistent key-value structures (§4.5)
+// so services can select one at runtime and reattach to it after a pool
+// reopen. It lives beside package kv rather than inside it because the
+// structures' own tests import kv; a registry inside kv would close an
+// import cycle through those test binaries.
+//
+// Each structure has a stable numeric ID that is stored in persistent pool
+// roots (internal/shard writes it), so the IDs here must never be
+// renumbered.
+package registry
+
+import (
+	"fmt"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/btree"
+	"github.com/pangolin-go/pangolin/structures/ctree"
+	"github.com/pangolin-go/pangolin/structures/hashmap"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/rbtree"
+	"github.com/pangolin-go/pangolin/structures/rtree"
+	"github.com/pangolin-go/pangolin/structures/skiplist"
+)
+
+// Structure describes one registered key-value structure.
+type Structure struct {
+	ID     uint64 // persisted in pool roots; never renumber
+	Name   string
+	New    func(*pangolin.Pool) (kv.Map, error)
+	Attach func(*pangolin.Pool, pangolin.OID) (kv.Map, error)
+}
+
+// structures lists the six paper structures in Table 3 order.
+var structures = []Structure{
+	{1, "ctree",
+		func(p *pangolin.Pool) (kv.Map, error) { return ctree.New(p) },
+		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return ctree.Attach(p, a) }},
+	{2, "rbtree",
+		func(p *pangolin.Pool) (kv.Map, error) { return rbtree.New(p) },
+		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return rbtree.Attach(p, a) }},
+	{3, "btree",
+		func(p *pangolin.Pool) (kv.Map, error) { return btree.New(p) },
+		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return btree.Attach(p, a) }},
+	{4, "skiplist",
+		func(p *pangolin.Pool) (kv.Map, error) { return skiplist.New(p) },
+		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return skiplist.Attach(p, a) }},
+	{5, "rtree",
+		func(p *pangolin.Pool) (kv.Map, error) { return rtree.New(p) },
+		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return rtree.Attach(p, a) }},
+	{6, "hashmap",
+		func(p *pangolin.Pool) (kv.Map, error) { return hashmap.New(p) },
+		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return hashmap.Attach(p, a) }},
+}
+
+// Names returns the registered structure names in registration order.
+func Names() []string {
+	names := make([]string, len(structures))
+	for i, s := range structures {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName looks a structure up by name.
+func ByName(name string) (Structure, error) {
+	for _, s := range structures {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Structure{}, fmt.Errorf("kv: unknown structure %q (have %v)", name, Names())
+}
+
+// ByID looks a structure up by its persistent ID.
+func ByID(id uint64) (Structure, error) {
+	for _, s := range structures {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Structure{}, fmt.Errorf("kv: unknown structure id %d", id)
+}

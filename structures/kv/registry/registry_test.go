@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+)
+
+// TestEveryStructureRoundTrips exercises New/insert/Attach/lookup for each
+// registered structure against one pool per structure.
+func TestEveryStructureRoundTrips(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool, err := pangolin.Create(pangolin.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+			m, err := s.New(pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(0); k < 50; k++ {
+				if err := m.Insert(k, k*3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m2, err := s.Attach(pool, m.Anchor())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(0); k < 50; k++ {
+				v, ok, err := m2.Lookup(k)
+				if err != nil || !ok || v != k*3 {
+					t.Fatalf("key %d = (%d,%v,%v), want (%d,true,nil)", k, v, ok, err, k*3)
+				}
+			}
+		})
+	}
+}
+
+// TestIDsStable pins the persistent IDs: they live in shard pool roots on
+// media, so renumbering them orphans existing data.
+func TestIDsStable(t *testing.T) {
+	want := map[string]uint64{
+		"ctree": 1, "rbtree": 2, "btree": 3, "skiplist": 4, "rtree": 5, "hashmap": 6,
+	}
+	if len(want) != len(Names()) {
+		t.Fatalf("registry has %d structures, test expects %d", len(Names()), len(want))
+	}
+	for name, id := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ID != id {
+			t.Errorf("%s has ID %d, want %d (IDs are persisted; never renumber)", name, s.ID, id)
+		}
+		byID, err := ByID(id)
+		if err != nil || byID.Name != name {
+			t.Errorf("ByID(%d) = %q, %v, want %q", id, byID.Name, err, name)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName accepted an unknown structure")
+	}
+	if _, err := ByID(999); err == nil {
+		t.Error("ByID accepted an unknown id")
+	}
+}

@@ -54,7 +54,12 @@ func TestSystemTorture(t *testing.T) {
 	}
 
 	rng := rand.New(rand.NewSource(2019)) // the paper's year
-	const rounds = 6
+	// PR CI (-short) runs a trimmed gauntlet; the nightly workflow runs
+	// the full six rounds.
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
 	const opsPerRound = 250
 	for round := 0; round < rounds; round++ {
 		for i := 0; i < opsPerRound; i++ {
