@@ -8,10 +8,14 @@
 //	pglload -addr 127.0.0.1:7499 -clients 32 -ops 100000
 //
 // The workload is keys uniform in [0, -keys), with a put/get/del mix set
-// by -reads and -dels (the remainder is puts). With -crash-after the run
-// ends by sending CRASH, killing the server after it writes per-shard
-// crash images; `pglpool check <dir>/shard-*.pgl` then verifies every
-// recovered shard.
+// by -reads and -dels (the remainder is puts). With -batch N each client
+// sends MGET/MPUT/MDEL frames of N operations instead of single-op
+// frames, exercising the server's group-commit path; reported ops and
+// ops/sec still count individual operations, while the latency
+// percentiles describe whole round trips (one frame at -batch 1, one
+// batch otherwise). With -crash-after the run ends by sending CRASH,
+// killing the server after it writes per-shard crash images; `pglpool
+// check <dir>/shard-*.pgl` then verifies every recovered shard.
 package main
 
 import (
@@ -40,6 +44,7 @@ type latencyMS struct {
 type report struct {
 	Addr       string            `json:"addr"`
 	Clients    int               `json:"clients"`
+	Batch      int               `json:"batch"`
 	Ops        uint64            `json:"ops"`
 	Errors     uint64            `json:"errors"`
 	ElapsedSec float64           `json:"elapsed_sec"`
@@ -58,14 +63,19 @@ func main() {
 	reads := flag.Float64("reads", 0.5, "fraction of GETs")
 	dels := flag.Float64("dels", 0.1, "fraction of DELs")
 	seed := flag.Int64("seed", 1, "workload seed")
+	batch := flag.Int("batch", 1, "operations per client frame (1 = single-op GET/PUT/DEL, >1 = MGET/MPUT/MDEL)")
 	crashAfter := flag.Bool("crash-after", false, "send CRASH when done (server dies with crash images)")
 	flag.Parse()
 	if *reads+*dels > 1 {
 		log.Fatal("pglload: -reads + -dels exceed 1")
 	}
+	if *batch < 1 || *batch > server.MaxBatchOps {
+		log.Fatalf("pglload: -batch must be in [1, %d]", server.MaxBatchOps)
+	}
 
 	var (
 		opCount  atomic.Uint64 // ops claimed
+		opsDone  atomic.Uint64 // ops completed
 		errCount atomic.Uint64
 		gets     atomic.Uint64
 		puts     atomic.Uint64
@@ -90,25 +100,56 @@ func main() {
 			// Keep whatever was measured even if this client errors out
 			// mid-run, so the report reflects the ops that did execute.
 			defer func() { latencies[id] = lats }()
+			kbuf := make([]uint64, 0, *batch)
+			vbuf := make([]uint64, 0, *batch)
 			for {
-				n := opCount.Add(1)
-				if n > *ops {
+				// Claim up to -batch ops from the shared budget; the
+				// final claim may be short.
+				end := opCount.Add(uint64(*batch))
+				first := end - uint64(*batch) + 1
+				if first > *ops {
 					break
 				}
-				k := rng.Uint64() % *keys
+				count := *batch
+				if end > *ops {
+					count = int(*ops - first + 1)
+				}
+				kbuf = kbuf[:0]
+				for i := 0; i < count; i++ {
+					kbuf = append(kbuf, rng.Uint64()%*keys)
+				}
+				// Each round trip is one op type, so a batch maps to one
+				// MGET/MPUT/MDEL frame; the dice keep the requested mix
+				// across rounds.
 				dice := rng.Float64()
 				t0 := time.Now()
 				var err error
 				switch {
 				case dice < *reads:
-					gets.Add(1)
-					_, _, err = c.Get(k)
+					gets.Add(uint64(count))
+					if count == 1 {
+						_, _, err = c.Get(kbuf[0])
+					} else {
+						_, _, err = c.MGet(kbuf)
+					}
 				case dice < *reads+*dels:
-					delOps.Add(1)
-					_, err = c.Del(k)
+					delOps.Add(uint64(count))
+					if count == 1 {
+						_, err = c.Del(kbuf[0])
+					} else {
+						_, err = c.MDel(kbuf)
+					}
 				default:
-					puts.Add(1)
-					err = c.Put(k, rng.Uint64())
+					puts.Add(uint64(count))
+					if count == 1 {
+						err = c.Put(kbuf[0], rng.Uint64())
+					} else {
+						vbuf = vbuf[:0]
+						for range kbuf {
+							vbuf = append(vbuf, rng.Uint64())
+						}
+						err = c.MPut(kbuf, vbuf)
+					}
 				}
 				lats = append(lats, time.Since(t0))
 				if err != nil {
@@ -116,6 +157,7 @@ func main() {
 					log.Printf("pglload: client %d: %v", id, err)
 					return
 				}
+				opsDone.Add(uint64(count))
 			}
 		}(id)
 	}
@@ -141,10 +183,11 @@ func main() {
 	rep := report{
 		Addr:       *addr,
 		Clients:    *clients,
-		Ops:        uint64(len(all)),
+		Batch:      *batch,
+		Ops:        opsDone.Load(),
 		Errors:     errCount.Load(),
 		ElapsedSec: elapsed.Seconds(),
-		OpsPerSec:  float64(len(all)) / elapsed.Seconds(),
+		OpsPerSec:  float64(opsDone.Load()) / elapsed.Seconds(),
 		Latency: latencyMS{
 			P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), P999: pct(0.999),
 			Max: pct(1),

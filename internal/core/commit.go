@@ -83,7 +83,10 @@ func (tx *Tx) commitPangolin() error {
 		return err
 	}
 	if e.mode.Checksums() {
-		tx.refreshChecksums(work, &ranges)
+		if err := tx.refreshChecksums(work, &ranges); err != nil {
+			tx.abortReleasing()
+			return err
+		}
 	}
 
 	// Enter the commit section: recovery freezes commits here.
@@ -227,7 +230,7 @@ func (tx *Tx) collectRanges(work []*mbuf.Buf) ([]applyRange, error) {
 // incrementally from its modified ranges (§3.5: cost proportional to the
 // modified size, not the object size), then adds the checksum field itself
 // as a modified range.
-func (tx *Tx) refreshChecksums(work []*mbuf.Buf, ranges *[]applyRange) {
+func (tx *Tx) refreshChecksums(work []*mbuf.Buf, ranges *[]applyRange) error {
 	for _, b := range work {
 		img := b.Image()
 		var newSum uint32
@@ -250,23 +253,28 @@ func (tx *Tx) refreshChecksums(work []*mbuf.Buf, ranges *[]applyRange) {
 		if b.Flags&mbuf.FlagAllocated == 0 {
 			// The checksum field (image bytes [12,16)) becomes part of
 			// the write-back set. It is excluded from the checksum
-			// domain, so no recursive refresh is needed.
+			// domain, so no recursive refresh is needed. The old bytes
+			// feed the parity delta, so a failed read must go through
+			// online recovery like any other — substituting zeros would
+			// fold a wrong delta into the zone's parity column.
 			var old [4]byte
-			if err := tx.e.dev.ReadAt(old[:], b.OID.HeaderOff()+12); err == nil {
-				*ranges = append(*ranges, applyRange{
-					off: b.OID.HeaderOff() + 12,
-					new: img[12:16],
-					old: old[:],
-				})
-			} else {
-				*ranges = append(*ranges, applyRange{
-					off: b.OID.HeaderOff() + 12,
-					new: img[12:16],
-					old: make([]byte, 4),
-				})
+			off := b.OID.HeaderOff() + 12
+			if err := tx.e.dev.ReadAt(old[:], off); err != nil {
+				if rerr := tx.e.faultRepair(off, 4, err); rerr != nil {
+					return rerr
+				}
+				if err := tx.e.dev.ReadAt(old[:], off); err != nil {
+					return err
+				}
 			}
+			*ranges = append(*ranges, applyRange{
+				off: off,
+				new: img[12:16],
+				old: old[:],
+			})
 		}
 	}
+	return nil
 }
 
 // updateParitySegments folds a delta at absolute offset off into zone

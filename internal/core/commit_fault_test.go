@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pangolin-go/pangolin/internal/layout"
+)
+
+// TestChecksumFieldFaultDuringCommit poisons the page holding an object's
+// header between Open and Commit, so the commit-time re-read of the
+// checksum field's old bytes (refreshChecksums) hits a media fault. The
+// object is larger than a page and only its second page is modified, so
+// this is the one read in the commit path that touches the header page —
+// it must route through faultRepair; substituting zeros for the old bytes
+// would fold a wrong old⊕new delta into the zone's parity column and
+// leave parity corrupt until the next scrub.
+func TestChecksumFieldFaultDuringCommit(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+
+	// Two-page object so the modified range and the header live on
+	// different pages (a same-page fault would be repaired earlier, by
+	// collectRanges' old-byte read).
+	const userSize = 2 * layout.PageSize
+	var oid layout.OID
+	if err := e.Run(func(tx *Tx) error {
+		var err error
+		oid, _, err = tx.Alloc(userSize, 7)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modify 8 bytes on the object's second page only.
+	const modOff = layout.PageSize
+	data, err := tx.AddRange(oid, modOff, 8)
+	if err != nil {
+		tx.Abort()
+		t.Fatal(err)
+	}
+	copy(data[modOff:modOff+8], "pangolin")
+	// The micro-buffer is populated; now destroy the header's page on
+	// media. Commit's checksum-field read is the next access to it.
+	e.InjectMediaError(oid.HeaderOff() + 12)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit across header-page fault: %v", err)
+	}
+
+	// The fault must have been repaired online and the delta folded from
+	// the true old bytes: parity holds, the object verifies, and nothing
+	// is left for a scrub to fix up.
+	verifyParity(t, e)
+	rep, err := e.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadObjects != 0 || rep.Unrecovered != 0 || rep.ParityFixes != 0 || rep.PagesHealed != 0 {
+		t.Fatalf("scrub had repairs left to do after commit-path recovery: %+v", rep)
+	}
+	got, err := e.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[modOff:modOff+8]) != "pangolin" {
+		t.Fatalf("modified bytes lost: %q", got[modOff:modOff+8])
+	}
+}

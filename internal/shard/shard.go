@@ -50,6 +50,11 @@ type Options struct {
 	Pangolin pangolin.Config
 	// QueueLen is the per-shard request queue depth; default 128.
 	QueueLen int
+	// MaxBatch caps how many operations a shard worker folds into one
+	// group-committed transaction; default 64. A worker never waits to
+	// fill a group — it drains what is already queued — so this bounds
+	// transaction size, not latency.
+	MaxBatch int
 }
 
 func (o *Options) structure() string {
@@ -72,6 +77,13 @@ func (o *Options) queueLen() int {
 		return 128
 	}
 	return o.QueueLen
+}
+
+func (o *Options) maxBatch() int {
+	if o.MaxBatch <= 0 {
+		return 64
+	}
+	return o.MaxBatch
 }
 
 // Set is a sharded, concurrently usable key-value store over a
@@ -113,7 +125,7 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: root: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen()))
+		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen(), opts.maxBatch()))
 	}
 	// Persist the freshly initialized roots and anchors.
 	if err := s.Sync(); err != nil {
@@ -160,7 +172,7 @@ func Open(dir string, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach %s: %w", i, structure.Name, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen()))
+		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen(), opts.maxBatch()))
 	}
 	return s, nil
 }
@@ -236,6 +248,50 @@ func (s *Set) Del(k uint64) (bool, error) {
 	return r.ok, r.err
 }
 
+// Batch executes ops and returns their results in matching order. The
+// ops are partitioned by shard; each shard executes its slice inside one
+// group-committed transaction (its commit is the linearization point for
+// the slice), and the shards run concurrently. There is no cross-shard
+// atomicity. If a shard's transaction fails, that shard's ops are
+// retried individually, each with its own verdict in BatchResult.Err.
+func (s *Set) Batch(ops []BatchOp) []BatchResult {
+	out := make([]BatchResult, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	perShard := make([][]BatchOp, len(s.workers))
+	perIdx := make([][]int, len(s.workers))
+	for i, op := range ops {
+		sh := s.ShardOf(op.K)
+		perShard[sh] = append(perShard[sh], op)
+		perIdx[sh] = append(perIdx[sh], i)
+	}
+	results := make([]chan response, len(s.workers))
+	for sh, sub := range perShard {
+		if len(sub) > 0 {
+			results[sh] = s.workers[sh].send(request{op: opBatch, ops: sub})
+		}
+	}
+	for sh, ch := range results {
+		if ch == nil {
+			continue
+		}
+		r := <-ch
+		if r.err != nil {
+			// The worker rejected the request outright (closed shard):
+			// every op in the slice gets the same verdict.
+			for _, i := range perIdx[sh] {
+				out[i] = BatchResult{Err: r.err}
+			}
+			continue
+		}
+		for j, i := range perIdx[sh] {
+			out[i] = r.batch[j]
+		}
+	}
+	return out
+}
+
 // fanOut runs op on every worker concurrently and returns the first error.
 func (s *Set) fanOut(op uint8, seed int64) error {
 	results := make([]chan response, len(s.workers))
@@ -308,6 +364,9 @@ func (s *Set) Stats() Stats {
 		st.Dels += r.stats.Dels
 		st.Hits += r.stats.Hits
 		st.Errors += r.stats.Errors
+		st.Batches += r.stats.Batches
+		st.BatchedOps += r.stats.BatchedOps
+		st.GroupFallbacks += r.stats.GroupFallbacks
 		st.Objects += r.stats.Objects
 		st.Bytes += r.stats.Bytes
 	}
@@ -332,26 +391,38 @@ func (s *Set) Abandon() {
 
 // ShardStats carries one shard's counters.
 type ShardStats struct {
-	Index   int    `json:"index"`
-	Gets    uint64 `json:"gets"`
-	Puts    uint64 `json:"puts"`
-	Dels    uint64 `json:"dels"`
-	Hits    uint64 `json:"hits"`
-	Errors  uint64 `json:"errors"`
-	Objects int    `json:"objects"`
-	Bytes   uint64 `json:"bytes"`
+	Index int    `json:"index"`
+	Gets  uint64 `json:"gets"`
+	Puts  uint64 `json:"puts"`
+	Dels  uint64 `json:"dels"`
+	Hits  uint64 `json:"hits"`
+	// Errors counts failed data operations.
+	Errors uint64 `json:"errors"`
+	// Batches counts group commits: transactions that carried more than
+	// one operation. BatchedOps is the operations they carried, so
+	// BatchedOps/Batches is the shard's achieved group size.
+	Batches    uint64 `json:"batches"`
+	BatchedOps uint64 `json:"batched_ops"`
+	// GroupFallbacks counts groups whose transaction failed and whose
+	// ops were retried individually.
+	GroupFallbacks uint64 `json:"group_fallbacks"`
+	Objects        int    `json:"objects"`
+	Bytes          uint64 `json:"bytes"`
 }
 
 // Stats aggregates the set's counters.
 type Stats struct {
-	Structure string       `json:"structure"`
-	NumShards int          `json:"num_shards"`
-	Gets      uint64       `json:"gets"`
-	Puts      uint64       `json:"puts"`
-	Dels      uint64       `json:"dels"`
-	Hits      uint64       `json:"hits"`
-	Errors    uint64       `json:"errors"`
-	Objects   int          `json:"objects"`
-	Bytes     uint64       `json:"bytes"`
-	Shards    []ShardStats `json:"shards"`
+	Structure      string       `json:"structure"`
+	NumShards      int          `json:"num_shards"`
+	Gets           uint64       `json:"gets"`
+	Puts           uint64       `json:"puts"`
+	Dels           uint64       `json:"dels"`
+	Hits           uint64       `json:"hits"`
+	Errors         uint64       `json:"errors"`
+	Batches        uint64       `json:"batches"`
+	BatchedOps     uint64       `json:"batched_ops"`
+	GroupFallbacks uint64       `json:"group_fallbacks"`
+	Objects        int          `json:"objects"`
+	Bytes          uint64       `json:"bytes"`
+	Shards         []ShardStats `json:"shards"`
 }

@@ -13,16 +13,41 @@ const (
 	opPut uint8 = iota + 1
 	opGet
 	opDel
+	opBatch // a client-supplied group of Get/Put/Del for this shard
 	opStats
 	opSync  // save this shard's snapshot file
 	opCrash // write a crash image over this shard's snapshot file
 	opScrub
 )
 
+// Batch op kinds (BatchOp.Kind).
+const (
+	BatchGet uint8 = 1
+	BatchPut uint8 = 2
+	BatchDel uint8 = 3
+)
+
+// BatchOp is one operation inside a batch.
+type BatchOp struct {
+	Kind uint8
+	K, V uint64
+}
+
+// BatchResult is one operation's outcome inside a batch: V/OK as for the
+// single-op API, Err set only when the op itself failed (after the batch
+// fell back to per-op transactions — a batch that commits as a group has
+// no per-op errors).
+type BatchResult struct {
+	V   uint64
+	OK  bool
+	Err error
+}
+
 type request struct {
 	op    uint8
 	k, v  uint64
 	seed  int64
+	ops   []BatchOp // opBatch
 	reply chan response
 }
 
@@ -30,6 +55,7 @@ type response struct {
 	v     uint64
 	ok    bool
 	err   error
+	batch []BatchResult // opBatch
 	stats ShardStats
 	scrub pangolin.ScrubReport
 }
@@ -38,37 +64,56 @@ type response struct {
 // goroutine that ever touches them (§3.4 single-writer discipline). It
 // also owns the shard's snapshot file via the PoolSet, so saves and data
 // transactions cannot interleave.
+//
+// The worker group-commits: after taking a request it opportunistically
+// drains whatever else is queued and executes every pending PUT/DEL/GET
+// for the shard inside one pool transaction — one log persist, one
+// fence, one parity pass — then answers each waiter individually. The
+// commit is the linearization point for everything in the group. If the
+// group's transaction fails, every request is retried in its own
+// transaction, so one poisoned op cannot take its batchmates down.
 type worker struct {
-	idx   int
-	pools *pangolin.PoolSet
-	pool  *pangolin.Pool
-	m     kv.Map
+	idx      int
+	pools    *pangolin.PoolSet
+	pool     *pangolin.Pool
+	m        kv.Map
+	maxBatch int
 
-	mu     sync.RWMutex // guards closed; held (shared) across enqueues
-	closed bool
-	reqs   chan request
-	exited chan struct{}
+	// Shutdown protocol: the lock covers only the closed flag and
+	// sender registration — never a channel send — so stop() cannot
+	// wedge behind a full queue, and senders cannot wedge behind a
+	// stop() that is waiting for the queue to drain.
+	mu      sync.RWMutex
+	closed  bool
+	senders sync.WaitGroup
+	reqs    chan request
+	exited  chan struct{}
 
 	// Counters, touched only by the worker goroutine.
-	gets, puts, dels, hits, errs uint64
+	gets, puts, dels, hits, errs        uint64
+	batches, batchedOps, groupFallbacks uint64
+	scratch                             []request // loop-local drain buffer
 }
 
-func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m kv.Map, queueLen int) *worker {
+func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m kv.Map, queueLen, maxBatch int) *worker {
 	w := &worker{
-		idx:    idx,
-		pools:  pools,
-		pool:   pool,
-		m:      m,
-		reqs:   make(chan request, queueLen),
-		exited: make(chan struct{}),
+		idx:      idx,
+		pools:    pools,
+		pool:     pool,
+		m:        m,
+		maxBatch: maxBatch,
+		reqs:     make(chan request, queueLen),
+		exited:   make(chan struct{}),
 	}
 	go w.loop()
 	return w
 }
 
-// send enqueues req and returns its reply channel. The read lock spans the
-// channel send so stop() cannot close reqs between the closed check and
-// the enqueue.
+// send enqueues req and returns its reply channel. The closed check and
+// the enqueue are decoupled: the read lock registers this sender while
+// the worker is still open, then is released before the (possibly
+// blocking) channel send. stop() waits for registered senders after
+// flagging closed, so the channel is never closed under a send.
 func (w *worker) send(req request) chan response {
 	req.reply = make(chan response, 1)
 	w.mu.RLock()
@@ -77,8 +122,10 @@ func (w *worker) send(req request) chan response {
 		req.reply <- response{err: fmt.Errorf("shard %d: closed", w.idx)}
 		return req.reply
 	}
-	w.reqs <- req
+	w.senders.Add(1)
 	w.mu.RUnlock()
+	w.reqs <- req // may block on a full queue; the loop keeps draining
+	w.senders.Done()
 	return req.reply
 }
 
@@ -91,18 +138,258 @@ func (w *worker) stop() {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
+		<-w.exited
 		return
 	}
 	w.closed = true
 	w.mu.Unlock()
+	// In-flight senders finish their enqueues (the loop is still
+	// draining, so none of them blocks forever), then the channel close
+	// lets the loop answer the tail and exit.
+	w.senders.Wait()
 	close(w.reqs)
 	<-w.exited
 }
 
+// groupable reports whether op joins a group commit; the rest (stats,
+// save, crash, scrub) are barriers that flush the group first.
+func groupable(op uint8) bool {
+	return op == opPut || op == opGet || op == opDel || op == opBatch
+}
+
+// opCount is the number of data operations req contributes to a group.
+func opCount(req request) int {
+	if req.op == opBatch {
+		return len(req.ops)
+	}
+	return 1
+}
+
 func (w *worker) loop() {
 	defer close(w.exited)
-	for req := range w.reqs {
-		req.reply <- w.handle(req)
+	var carry *request // drained request that would overfill its group
+	for {
+		var req request
+		if carry != nil {
+			req, carry = *carry, nil
+		} else {
+			var ok bool
+			req, ok = <-w.reqs
+			if !ok {
+				return
+			}
+		}
+		if !groupable(req.op) {
+			req.reply <- w.handle(req)
+			continue
+		}
+		// Opportunistic group: drain whatever is already queued, up to
+		// maxBatch ops, stopping at a barrier op. A request that would
+		// push the group past the window is carried into the next round
+		// instead, so no transaction ever exceeds maxBatch operations.
+		group := append(w.scratch[:0], req)
+		var barrier request
+		hasBarrier := false
+		n := opCount(req)
+	drain:
+		for n < w.maxBatch {
+			select {
+			case r2, ok := <-w.reqs:
+				if !ok {
+					break drain
+				}
+				if !groupable(r2.op) {
+					barrier, hasBarrier = r2, true
+					break drain
+				}
+				if n+opCount(r2) > w.maxBatch {
+					r2 := r2
+					carry = &r2
+					break drain
+				}
+				group = append(group, r2)
+				n += opCount(r2)
+			default:
+				break drain
+			}
+		}
+		w.runGroup(group)
+		w.scratch = group[:0]
+		if hasBarrier {
+			barrier.reply <- w.handle(barrier)
+		}
+	}
+}
+
+// runGroup executes a group of data requests. Groups with at least one
+// mutation and more than one op run inside a single pool transaction;
+// read-only or single-op groups take the plain per-op path (GETs need no
+// transaction at all).
+func (w *worker) runGroup(group []request) {
+	// A batch request larger than the group window arrives alone in its
+	// group (opCount(req) ≥ maxBatch keeps the drain from adding to it):
+	// execute it in window-sized transaction chunks and merge the per-op
+	// results, so the documented MaxBatch bound holds for client batches
+	// too. Atomicity is then per chunk, which is what doc.go promises
+	// for batches beyond the window.
+	if len(group) == 1 && group[0].op == opBatch && len(group[0].ops) > w.maxBatch {
+		req := group[0]
+		out := make([]BatchResult, 0, len(req.ops))
+		for start := 0; start < len(req.ops); start += w.maxBatch {
+			end := min(start+w.maxBatch, len(req.ops))
+			out = append(out, w.execBatchChunk(req.ops[start:end])...)
+		}
+		req.reply <- response{batch: out}
+		return
+	}
+	muts, total := 0, 0
+	for _, r := range group {
+		total += opCount(r)
+		switch r.op {
+		case opPut, opDel:
+			muts++
+		case opBatch:
+			for _, op := range r.ops {
+				if op.Kind != BatchGet {
+					muts++
+				}
+			}
+		}
+	}
+	if muts == 0 || total <= 1 {
+		for _, r := range group {
+			r.reply <- w.handle(r)
+		}
+		return
+	}
+	resps := make([]response, len(group))
+	err := w.pool.Run(func(tx *pangolin.Tx) error {
+		for i, r := range group {
+			resp, err := w.handleTx(tx, r)
+			if err != nil {
+				return err
+			}
+			resps[i] = resp
+		}
+		return nil
+	})
+	if err == nil {
+		w.batches++
+		w.batchedOps += uint64(total)
+		for i, r := range group {
+			w.countGroup(group[i], resps[i])
+			r.reply <- resps[i]
+		}
+		return
+	}
+	// The group's transaction aborted (nothing reached NVMM). Retry each
+	// request in its own transaction so one bad op can't poison its
+	// batchmates; each waiter gets its op's own verdict.
+	w.groupFallbacks++
+	for _, r := range group {
+		r.reply <- w.handle(r)
+	}
+}
+
+// execBatchChunk runs one window-sized slice of an oversized batch in a
+// single transaction, with the same per-op fallback as a group.
+func (w *worker) execBatchChunk(ops []BatchOp) []BatchResult {
+	sub := request{op: opBatch, ops: ops}
+	muts := 0
+	for _, op := range ops {
+		if op.Kind != BatchGet {
+			muts++
+		}
+	}
+	if muts == 0 || len(ops) == 1 {
+		return w.handle(sub).batch
+	}
+	var resp response
+	err := w.pool.Run(func(tx *pangolin.Tx) error {
+		var err error
+		resp, err = w.handleTx(tx, sub)
+		return err
+	})
+	if err == nil {
+		w.batches++
+		w.batchedOps += uint64(len(ops))
+		w.countGroup(sub, resp)
+		return resp.batch
+	}
+	w.groupFallbacks++
+	return w.handle(sub).batch
+}
+
+// handleTx executes one groupable request inside the group's transaction.
+// Any error aborts the whole group (the structure may be half-modified);
+// counters are deferred until the commit succeeds.
+func (w *worker) handleTx(tx *pangolin.Tx, req request) (response, error) {
+	switch req.op {
+	case opPut:
+		return response{}, w.m.InsertTx(tx, req.k, req.v)
+	case opGet:
+		v, ok, err := w.m.LookupTx(tx, req.k)
+		return response{v: v, ok: ok}, err
+	case opDel:
+		ok, err := w.m.RemoveTx(tx, req.k)
+		return response{ok: ok}, err
+	case opBatch:
+		res := make([]BatchResult, len(req.ops))
+		for i, op := range req.ops {
+			switch op.Kind {
+			case BatchPut:
+				if err := w.m.InsertTx(tx, op.K, op.V); err != nil {
+					return response{}, err
+				}
+				res[i] = BatchResult{OK: true}
+			case BatchGet:
+				v, ok, err := w.m.LookupTx(tx, op.K)
+				if err != nil {
+					return response{}, err
+				}
+				res[i] = BatchResult{V: v, OK: ok}
+			case BatchDel:
+				ok, err := w.m.RemoveTx(tx, op.K)
+				if err != nil {
+					return response{}, err
+				}
+				res[i] = BatchResult{OK: ok}
+			default:
+				return response{}, fmt.Errorf("shard %d: unknown batch kind %d", w.idx, op.Kind)
+			}
+		}
+		return response{batch: res}, nil
+	default:
+		return response{}, fmt.Errorf("shard %d: op %d inside a group", w.idx, req.op)
+	}
+}
+
+// countGroup applies the op counters for one group-committed request.
+func (w *worker) countGroup(req request, resp response) {
+	switch req.op {
+	case opPut:
+		w.puts++
+	case opGet:
+		w.gets++
+		if resp.ok {
+			w.hits++
+		}
+	case opDel:
+		w.dels++
+	case opBatch:
+		for i, op := range req.ops {
+			switch op.Kind {
+			case BatchPut:
+				w.puts++
+			case BatchGet:
+				w.gets++
+				if resp.batch[i].OK {
+					w.hits++
+				}
+			case BatchDel:
+				w.dels++
+			}
+		}
 	}
 }
 
@@ -132,17 +419,56 @@ func (w *worker) handle(req request) response {
 			w.errs++
 		}
 		return response{ok: ok, err: err}
+	case opBatch:
+		// Per-op execution of a batch request: each op in its own
+		// transaction with its own verdict.
+		res := make([]BatchResult, len(req.ops))
+		for i, op := range req.ops {
+			switch op.Kind {
+			case BatchPut:
+				w.puts++
+				err := w.m.Insert(op.K, op.V)
+				if err != nil {
+					w.errs++
+				}
+				res[i] = BatchResult{OK: err == nil, Err: err}
+			case BatchGet:
+				w.gets++
+				v, ok, err := w.m.Lookup(op.K)
+				if err != nil {
+					w.errs++
+				}
+				if ok {
+					w.hits++
+				}
+				res[i] = BatchResult{V: v, OK: ok, Err: err}
+			case BatchDel:
+				w.dels++
+				ok, err := w.m.Remove(op.K)
+				if err != nil {
+					w.errs++
+				}
+				res[i] = BatchResult{OK: ok, Err: err}
+			default:
+				w.errs++
+				res[i] = BatchResult{Err: fmt.Errorf("shard %d: unknown batch kind %d", w.idx, op.Kind)}
+			}
+		}
+		return response{batch: res}
 	case opStats:
 		live := w.pool.LiveObjects()
 		return response{stats: ShardStats{
-			Index:   w.idx,
-			Gets:    w.gets,
-			Puts:    w.puts,
-			Dels:    w.dels,
-			Hits:    w.hits,
-			Errors:  w.errs,
-			Objects: live.Objects,
-			Bytes:   live.Bytes,
+			Index:          w.idx,
+			Gets:           w.gets,
+			Puts:           w.puts,
+			Dels:           w.dels,
+			Hits:           w.hits,
+			Errors:         w.errs,
+			Batches:        w.batches,
+			BatchedOps:     w.batchedOps,
+			GroupFallbacks: w.groupFallbacks,
+			Objects:        live.Objects,
+			Bytes:          live.Bytes,
 		}}
 	case opSync:
 		return response{err: w.pools.SaveShard(w.idx)}

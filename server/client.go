@@ -106,6 +106,78 @@ func (c *Client) Del(k uint64) (bool, error) {
 	return status == StatusOK, nil
 }
 
+// MGet fetches many keys in one round trip; the server group-commits each
+// shard's slice. It returns values and presence flags in key order.
+func (c *Client) MGet(keys []uint64) ([]uint64, []bool, error) {
+	status, body, err := c.roundTrip(Request{Op: OpMGet, Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	if status != StatusOK || len(body) != 9*len(keys) {
+		return nil, nil, fmt.Errorf("server: MGET response status %d, body %d bytes for %d keys",
+			status, len(body), len(keys))
+	}
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	for i := range keys {
+		rec := body[i*9:]
+		switch rec[0] {
+		case BatchOK:
+			found[i] = true
+			vals[i] = binary.BigEndian.Uint64(rec[1:])
+		case BatchNotFound:
+		default:
+			return nil, nil, fmt.Errorf("server: MGET op %d (key %d) failed", i, keys[i])
+		}
+	}
+	return vals, found, nil
+}
+
+// MPut inserts or updates many pairs in one round trip; each shard's
+// slice commits as one transaction. A non-nil error reports the first
+// failed op (the others are unaffected — see the batch semantics in the
+// package documentation).
+func (c *Client) MPut(keys, vals []uint64) error {
+	status, body, err := c.roundTrip(Request{Op: OpMPut, Keys: keys, Vals: vals})
+	if err != nil {
+		return err
+	}
+	if status != StatusOK || len(body) != len(keys) {
+		return fmt.Errorf("server: MPUT response status %d, body %d bytes for %d ops",
+			status, len(body), len(keys))
+	}
+	for i, st := range body {
+		if st != BatchOK {
+			return fmt.Errorf("server: MPUT op %d (key %d) failed", i, keys[i])
+		}
+	}
+	return nil
+}
+
+// MDel removes many keys in one round trip; each shard's slice commits
+// as one transaction. It reports per-key presence in key order.
+func (c *Client) MDel(keys []uint64) ([]bool, error) {
+	status, body, err := c.roundTrip(Request{Op: OpMDel, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK || len(body) != len(keys) {
+		return nil, fmt.Errorf("server: MDEL response status %d, body %d bytes for %d ops",
+			status, len(body), len(keys))
+	}
+	present := make([]bool, len(keys))
+	for i, st := range body {
+		switch st {
+		case BatchOK:
+			present[i] = true
+		case BatchNotFound:
+		default:
+			return nil, fmt.Errorf("server: MDEL op %d (key %d) failed", i, keys[i])
+		}
+	}
+	return present, nil
+}
+
 // Stats fetches the server's shard statistics.
 func (c *Client) Stats() (Stats, error) {
 	var st Stats

@@ -22,6 +22,32 @@
 // pool's root records the structure, the shard index, and the set size, so
 // reopening detects shuffled or foreign shard files.
 //
+// # Group commit
+//
+// A Pangolin commit pays a durable log append, a persist fence, and a
+// parity fold per transaction (§3.4), so one-transaction-per-request
+// caps throughput at the fence rate. Each shard worker therefore
+// group-commits: after taking one request it opportunistically drains
+// whatever else its queue holds — never waiting, so an idle server adds
+// no latency — and executes the whole group inside one pool transaction:
+// one log persist, one fence, one parity pass, then an individual reply
+// to every waiter. The commit is the linearization point for the group.
+// If the group's transaction fails, nothing has reached NVMM; the worker
+// retries each operation in its own transaction so one poisoned op
+// cannot fail its batchmates, and each waiter gets its own verdict.
+// STATS reports the achieved grouping per shard (batches, batched_ops,
+// group_fallbacks).
+//
+// Clients feed that window two ways: many connections (concurrent
+// single-op requests against one shard group together), or the batch ops
+// MGET/MPUT/MDEL, which carry many operations in one frame. A batch
+// request is partitioned by shard; each shard's slice executes inside
+// one transaction (atomically — unless that shard falls back as above,
+// when per-op statuses in the response tell which ops failed), different
+// shards commit concurrently, and there is no atomicity across shards.
+// Ops for one key always land on one shard, so per-key ordering within a
+// batch is preserved.
+//
 // Durability is snapshot-per-shard (pangolin.PoolSet): shard i persists as
 // dir/shard-000i.pgl. SYNC saves every shard from its own worker, so a
 // save never races a transaction. CRASH writes a *crash image* of every
@@ -48,13 +74,32 @@
 //	STATS (4)  —                   per-shard and aggregate counters
 //	SYNC  (5)  —                   save all shard snapshots
 //	CRASH (6)  seed                simulate machine power failure
+//	MGET  (7)  key*                batch lookup, N = (len-1)/8 ops
+//	MPUT  (8)  (key value)*        batch insert/update, N = (len-1)/16 ops
+//	MDEL  (9)  key*                batch delete, N = (len-1)/8 ops
+//
+// Batch ops carry no explicit count — the frame length delimits them — but
+// the payload must be a whole number of ops, at least 1 and at most
+// MaxBatchOps (4096); a batch larger than each shard's group-commit
+// window (shard.Options.MaxBatch, default 64) still executes, split into
+// several transactions per shard.
 //
 // Responses:
 //
 //	OK        (0)  GET → value(uint64 BE); STATS → JSON (shard.Stats);
-//	               PUT, DEL, SYNC, CRASH → empty
+//	               PUT, DEL, SYNC, CRASH → empty;
+//	               MGET → N × (status(1 B) value(uint64 BE));
+//	               MPUT, MDEL → N × status(1 B)
 //	NOT_FOUND (1)  GET or DEL of an absent key; empty body
 //	ERR       (2)  body is a UTF-8 error message
+//
+// Batch responses answer every op: records are in request order, one per
+// op, each carrying a per-op status — 0 (OK), 1 (not found: MGET/MDEL of
+// an absent key), or 2 (that op failed: its per-op fallback transaction
+// errored, or its shard was already shut down and executed nothing). An
+// MGET record's value bytes are meaningful only under status 0. A
+// malformed batch (ragged payload, zero ops, > MaxBatchOps) is rejected
+// whole with ERR.
 //
 // Requests on one connection are answered in order; concurrency comes
 // from concurrent connections, which matches the closed-loop client model

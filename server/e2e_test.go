@@ -4,12 +4,143 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/pangolin-go/pangolin"
 	"github.com/pangolin-go/pangolin/internal/shard"
 )
+
+// TestEndToEndCrashUnderBatchLoad crashes the server over TCP while
+// batch clients are mid-MPUT: every batch acknowledged before the crash
+// snapshot must survive recovery whole (each shard slice is one
+// transaction), and every shard file must pass the pglpool-check pass.
+func TestEndToEndCrashUnderBatchLoad(t *testing.T) {
+	dir := t.TempDir()
+	const clients = 8
+	const shards = 4
+	const batch = 16
+
+	set, err := shard.Create(dir, shards, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(set)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	addr := srv.Addr().String()
+
+	var committed sync.Map
+	var acked atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+				return
+			}
+			defer c.Close()
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			for k := uint64(id) << 32; ; k += batch {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					keys[i] = k + uint64(i)
+					vals[i] = (k + uint64(i)) ^ 0xF00D
+				}
+				if err := c.MPut(keys, vals); err != nil {
+					return // the crash tears connections down mid-flight
+				}
+				for i := range keys {
+					committed.Store(keys[i], vals[i])
+				}
+				acked.Add(batch)
+			}
+		}(id)
+	}
+	for deadline := time.Now().Add(30 * time.Second); acked.Load() < 2000; {
+		if time.Now().After(deadline) {
+			t.Fatal("batch clients never reached 2000 acked ops")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Everything acknowledged by now is committed on its shards and must
+	// survive the crash images; batches still in flight may or may not.
+	frozen := map[uint64]uint64{}
+	committed.Range(func(k, v any) bool {
+		frozen[k.(uint64)] = v.(uint64)
+		return true
+	})
+	cc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Crash(77); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.Crashed():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Crashed() not signalled")
+	}
+	cc.Close()
+	close(stop)
+	srv.Shutdown()
+	wg.Wait()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	set.Abandon() // die without syncing
+
+	set2, err := shard.Open(dir, shard.Options{})
+	if err != nil {
+		t.Fatalf("recovery open after crash-under-batch-load: %v", err)
+	}
+	defer set2.Abandon()
+	rep, err := set2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecovered != 0 {
+		t.Fatalf("scrub: %d unrecoverable (%+v)", rep.Unrecovered, rep)
+	}
+	for k, want := range frozen {
+		v, ok, err := set2.Get(k)
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		if !ok || v != want {
+			t.Fatalf("acked batch key %d = (%d,%v), want (%d,true): committed batch lost", k, v, ok, want)
+		}
+	}
+	// Every shard file passes the pglpool-check pass.
+	for i := 0; i < shards; i++ {
+		pool, err := pangolin.LoadFile(pangolin.ShardFile(dir, i), pangolin.DefaultConfig())
+		if err != nil {
+			t.Fatalf("pglpool-check shard %d: open: %v", i, err)
+		}
+		rep, err := pool.Scrub()
+		if err != nil {
+			t.Fatalf("pglpool-check shard %d: scrub: %v", i, err)
+		}
+		if rep.Unrecovered != 0 {
+			t.Fatalf("pglpool-check shard %d: %d unrecoverable (%+v)", i, rep.Unrecovered, rep)
+		}
+		pool.Close()
+	}
+}
 
 // TestEndToEndConcurrentClientsThenCrash is the acceptance gauntlet: 32
 // concurrent TCP clients drive a 4-shard server with a mixed workload,

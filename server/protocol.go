@@ -23,7 +23,23 @@ const (
 	OpStats uint8 = 4 // → JSON body
 	OpSync  uint8 = 5 // save every shard snapshot
 	OpCrash uint8 = 6 // seed → write crash images, then the server dies
+	OpMGet  uint8 = 7 // N keys → N (found, value) records
+	OpMPut  uint8 = 8 // N (key, value) pairs → N status bytes
+	OpMDel  uint8 = 9 // N keys → N status bytes
 )
+
+// Per-op status bytes inside an MGET/MPUT/MDEL response body (the frame
+// status byte stays StatusOK; these describe each op).
+const (
+	BatchOK       uint8 = 0
+	BatchNotFound uint8 = 1
+	BatchErr      uint8 = 2
+)
+
+// MaxBatchOps caps the ops in one MGET/MPUT/MDEL request: enough to keep
+// every shard's group-commit window full, small enough that one frame
+// can't pin megabytes per connection.
+const MaxBatchOps = 4096
 
 // Response status codes.
 const (
@@ -75,14 +91,19 @@ func appendU64(b []byte, v uint64) []byte {
 }
 
 // Request is a decoded client request. Single-field ops (OpGet, OpDel,
-// OpCrash) carry their field — key or seed — in Key.
+// OpCrash) carry their field — key or seed — in Key. Batch ops carry
+// Keys (MGET, MDEL) or Keys+Vals pairwise (MPUT); decoded slices alias
+// nothing and are safe to retain.
 type Request struct {
-	Op  uint8
-	Key uint64
-	Val uint64 // OpPut only
+	Op   uint8
+	Key  uint64
+	Val  uint64   // OpPut only
+	Keys []uint64 // OpMGet, OpMPut, OpMDel
+	Vals []uint64 // OpMPut only
 }
 
-// fieldCount returns how many uint64 fields op carries.
+// fieldCount returns how many uint64 fields a fixed-shape op carries, or
+// -1 for the variable-length batch ops.
 func fieldCount(op uint8) (int, error) {
 	switch op {
 	case OpGet, OpDel:
@@ -93,9 +114,30 @@ func fieldCount(op uint8) (int, error) {
 		return 0, nil
 	case OpCrash:
 		return 1, nil
+	case OpMGet, OpMPut, OpMDel:
+		return -1, nil
 	default:
 		return 0, fmt.Errorf("server: unknown opcode %d", op)
 	}
+}
+
+// batchStride is the bytes per op in a batch request payload.
+func batchStride(op uint8) int {
+	if op == OpMPut {
+		return 16 // key + value
+	}
+	return 8 // key
+}
+
+// checkBatchLen validates a batch op count against its protocol cap.
+func checkBatchLen(op uint8, n int) error {
+	if n == 0 {
+		return fmt.Errorf("server: op %d with zero ops", op)
+	}
+	if n > MaxBatchOps {
+		return fmt.Errorf("server: op %d with %d ops exceeds limit %d", op, n, MaxBatchOps)
+	}
+	return nil
 }
 
 // EncodeRequest appends req's wire form to b.
@@ -103,6 +145,22 @@ func EncodeRequest(b []byte, req Request) ([]byte, error) {
 	n, err := fieldCount(req.Op)
 	if err != nil {
 		return nil, err
+	}
+	if n < 0 {
+		if err := checkBatchLen(req.Op, len(req.Keys)); err != nil {
+			return nil, err
+		}
+		if req.Op == OpMPut && len(req.Vals) != len(req.Keys) {
+			return nil, fmt.Errorf("server: MPUT with %d keys, %d values", len(req.Keys), len(req.Vals))
+		}
+		b = append(b, req.Op)
+		for i, k := range req.Keys {
+			b = appendU64(b, k)
+			if req.Op == OpMPut {
+				b = appendU64(b, req.Vals[i])
+			}
+		}
+		return b, nil
 	}
 	b = append(b, req.Op)
 	if n >= 1 {
@@ -123,6 +181,29 @@ func DecodeRequest(p []byte) (Request, error) {
 	n, err := fieldCount(req.Op)
 	if err != nil {
 		return Request{}, err
+	}
+	if n < 0 {
+		stride := batchStride(req.Op)
+		if (len(p)-1)%stride != 0 {
+			return Request{}, fmt.Errorf("server: op %d payload of %d bytes is not a whole number of %d-byte ops",
+				req.Op, len(p), stride)
+		}
+		count := (len(p) - 1) / stride
+		if err := checkBatchLen(req.Op, count); err != nil {
+			return Request{}, err
+		}
+		req.Keys = make([]uint64, count)
+		if req.Op == OpMPut {
+			req.Vals = make([]uint64, count)
+		}
+		for i := 0; i < count; i++ {
+			off := 1 + i*stride
+			req.Keys[i] = binary.BigEndian.Uint64(p[off:])
+			if req.Op == OpMPut {
+				req.Vals[i] = binary.BigEndian.Uint64(p[off+8:])
+			}
+		}
+		return req, nil
 	}
 	if len(p) != 1+8*n {
 		return Request{}, fmt.Errorf("server: op %d wants %d bytes, got %d", req.Op, 1+8*n, len(p))

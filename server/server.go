@@ -196,6 +196,8 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 			return EncodeResponse(out, StatusNotFound, nil), false
 		}
 		return EncodeResponse(out, StatusOK, nil), false
+	case OpMGet, OpMPut, OpMDel:
+		return s.handleBatch(out, req), false
 	case OpStats:
 		body, err := json.Marshal(s.set.Stats())
 		if err != nil {
@@ -215,4 +217,38 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 	default:
 		return EncodeResponse(out, StatusErr, []byte(fmt.Sprintf("unknown op %d", req.Op))), false
 	}
+}
+
+// handleBatch executes one MGET/MPUT/MDEL. The ops are partitioned by
+// shard and each shard's slice commits as one transaction; the response
+// carries a per-op record in request order (see doc.go for the body
+// grammar).
+func (s *Server) handleBatch(out []byte, req Request) []byte {
+	ops := make([]shard.BatchOp, len(req.Keys))
+	for i, k := range req.Keys {
+		switch req.Op {
+		case OpMGet:
+			ops[i] = shard.BatchOp{Kind: shard.BatchGet, K: k}
+		case OpMPut:
+			ops[i] = shard.BatchOp{Kind: shard.BatchPut, K: k, V: req.Vals[i]}
+		case OpMDel:
+			ops[i] = shard.BatchOp{Kind: shard.BatchDel, K: k}
+		}
+	}
+	res := s.set.Batch(ops)
+	out = append(out, StatusOK)
+	for _, r := range res {
+		switch {
+		case r.Err != nil:
+			out = append(out, BatchErr)
+		case !r.OK && req.Op != OpMPut:
+			out = append(out, BatchNotFound)
+		default:
+			out = append(out, BatchOK)
+		}
+		if req.Op == OpMGet {
+			out = binary.BigEndian.AppendUint64(out, r.V)
+		}
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"net"
+	"reflect"
 	"testing"
 
 	"github.com/pangolin-go/pangolin/internal/shard"
@@ -16,6 +17,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpStats},
 		{Op: OpSync},
 		{Op: OpCrash, Key: uint64(7)},
+		{Op: OpMGet, Keys: []uint64{1, 2, ^uint64(0)}},
+		{Op: OpMPut, Keys: []uint64{9, 8}, Vals: []uint64{90, 80}},
+		{Op: OpMDel, Keys: []uint64{5}},
 	}
 	for _, want := range cases {
 		p, err := EncodeRequest(nil, want)
@@ -26,22 +30,39 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%+v: %v", want, err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round trip %+v → %+v", want, got)
 		}
 	}
 }
 
 func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	oversized, _ := EncodeRequest(nil, Request{Op: OpMDel, Keys: make([]uint64, MaxBatchOps)})
 	for _, p := range [][]byte{
 		nil,
-		{99},                            // unknown op
-		{OpGet},                         // missing key
-		{OpPut, 0, 0, 0, 0, 0, 0, 0, 0}, // missing value
-		append([]byte{OpStats}, 1),      // trailing bytes
+		{99},                                  // unknown op
+		{OpGet},                               // missing key
+		{OpPut, 0, 0, 0, 0, 0, 0, 0, 0},       // missing value
+		append([]byte{OpStats}, 1),            // trailing bytes
+		{OpMGet},                              // zero batch ops
+		{OpMGet, 1, 2, 3},                     // ragged batch payload
+		{OpMPut, 0, 0, 0, 0, 0, 0, 0, 0},      // MPUT key without value
+		append(oversized, make([]byte, 8)...), // MaxBatchOps + 1
 	} {
 		if _, err := DecodeRequest(p); err == nil {
-			t.Errorf("DecodeRequest(%v) accepted garbage", p)
+			t.Errorf("DecodeRequest(%v) accepted garbage", p[:min(len(p), 12)])
+		}
+	}
+}
+
+func TestEncodeRequestRejectsBadBatches(t *testing.T) {
+	for _, req := range []Request{
+		{Op: OpMGet}, // empty
+		{Op: OpMPut, Keys: []uint64{1, 2}, Vals: []uint64{1}}, // ragged
+		{Op: OpMDel, Keys: make([]uint64, MaxBatchOps+1)},     // oversized
+	} {
+		if _, err := EncodeRequest(nil, req); err == nil {
+			t.Errorf("EncodeRequest(%+v) accepted a bad batch", req.Op)
 		}
 	}
 }
@@ -131,6 +152,74 @@ func TestServerBasicOps(t *testing.T) {
 	}
 	if st.NumShards != 2 || st.Puts != 1 || st.Gets != 2 || st.Dels != 2 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServerBatchOps(t *testing.T) {
+	_, addr := startServer(t, t.TempDir(), 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = k * 100
+	}
+	if err := c.MPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	gotVals, found, err := c.MGet([]uint64{3, 99, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || gotVals[0] != 300 || found[1] || !found[2] || gotVals[2] != 700 {
+		t.Fatalf("MGET = %v / %v", gotVals, found)
+	}
+	present, err := c.MDel([]uint64{2, 99, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !present[0] || present[1] || !present[2] {
+		t.Fatalf("MDEL presence = %v", present)
+	}
+	if _, ok, _ := c.Get(2); ok {
+		t.Fatal("key 2 survived MDEL")
+	}
+	if v, ok, _ := c.Get(1); !ok || v != 100 {
+		t.Fatal("key 1 lost")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Puts != 8 || st.Gets != 5 || st.Dels != 3 {
+		t.Fatalf("stats after batches = %+v", st)
+	}
+	if st.Batches == 0 || st.BatchedOps < 8 {
+		t.Fatalf("no group commits recorded: %+v", st)
+	}
+	// A batch larger than the shard group window still works (split into
+	// several group commits server-side).
+	big := make([]uint64, 1000)
+	bigV := make([]uint64, 1000)
+	for i := range big {
+		big[i] = 1000 + uint64(i)
+		bigV[i] = uint64(i)
+	}
+	if err := c.MPut(big, bigV); err != nil {
+		t.Fatal(err)
+	}
+	gotVals, found, err = c.MGet(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range big {
+		if !found[i] || gotVals[i] != bigV[i] {
+			t.Fatalf("big batch key %d = (%d,%v)", big[i], gotVals[i], found[i])
+		}
 	}
 }
 

@@ -185,73 +185,120 @@ func (t *w) splitChild(pOID pangolin.OID, i int) {
 	pn.N++
 }
 
+// LookupTx is Lookup inside the caller's transaction, observing the
+// transaction's own uncommitted writes.
+func (t *Tree) LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error) {
+	a, err := pangolin.Get[anchor](tx, t.anchor)
+	if err != nil {
+		return 0, false, err
+	}
+	cur := a.Root
+	for !cur.IsNil() {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return 0, false, err
+		}
+		i := 0
+		for i < int(n.N) && k > n.Items[i].Key {
+			i++
+		}
+		if i < int(n.N) && k == n.Items[i].Key {
+			return n.Items[i].Value, true, nil
+		}
+		if n.leaf() {
+			return 0, false, nil
+		}
+		cur = n.Children[i]
+	}
+	return 0, false, nil
+}
+
 // Insert adds or updates k in one transaction.
 func (t *Tree) Insert(k, v uint64) error {
-	return t.run(func(tw *w) error {
-		root := tw.a.Root
-		if tw.r(root).N == maxItems {
-			// Grow: new root with the old root as child 0.
-			newOID, newRoot := tw.alloc()
-			newRoot.Children[0] = root
-			tw.a.Root = newOID
-			tw.splitChild(newOID, 0)
-			root = newOID
+	return t.run(func(tw *w) error { return t.insertW(tw, k, v) })
+}
+
+// InsertTx adds or updates k inside the caller's transaction.
+func (t *Tree) InsertTx(tx *pangolin.Tx, k, v uint64) error {
+	return t.runIn(tx, func(tw *w) error { return t.insertW(tw, k, v) })
+}
+
+func (t *Tree) insertW(tw *w, k, v uint64) error {
+	root := tw.a.Root
+	if tw.r(root).N == maxItems {
+		// Grow: new root with the old root as child 0.
+		newOID, newRoot := tw.alloc()
+		newRoot.Children[0] = root
+		tw.a.Root = newOID
+		tw.splitChild(newOID, 0)
+		root = newOID
+	}
+	cur := root
+	for {
+		cn := tw.r(cur)
+		i := 0
+		for i < int(cn.N) && k > cn.Items[i].Key {
+			i++
 		}
-		cur := root
-		for {
-			cn := tw.r(cur)
-			i := 0
-			for i < int(cn.N) && k > cn.Items[i].Key {
-				i++
+		if i < int(cn.N) && k == cn.Items[i].Key {
+			tw.n(cur).Items[i].Value = v
+			return nil
+		}
+		if cn.leaf() {
+			wn := tw.n(cur)
+			for j := int(wn.N); j > i; j-- {
+				wn.Items[j] = wn.Items[j-1]
 			}
-			if i < int(cn.N) && k == cn.Items[i].Key {
+			wn.Items[i] = item{Key: k, Value: v}
+			wn.N++
+			tw.a.Count++
+			return nil
+		}
+		if tw.r(cn.Children[i]).N == maxItems {
+			tw.splitChild(cur, i)
+			cn = tw.r(cur)
+			if k == cn.Items[i].Key {
 				tw.n(cur).Items[i].Value = v
 				return nil
 			}
-			if cn.leaf() {
-				wn := tw.n(cur)
-				for j := int(wn.N); j > i; j-- {
-					wn.Items[j] = wn.Items[j-1]
-				}
-				wn.Items[i] = item{Key: k, Value: v}
-				wn.N++
-				tw.a.Count++
-				return nil
+			if k > cn.Items[i].Key {
+				i++
 			}
-			if tw.r(cn.Children[i]).N == maxItems {
-				tw.splitChild(cur, i)
-				cn = tw.r(cur)
-				if k == cn.Items[i].Key {
-					tw.n(cur).Items[i].Value = v
-					return nil
-				}
-				if k > cn.Items[i].Key {
-					i++
-				}
-			}
-			cur = tw.r(cur).Children[i]
 		}
-	})
+		cur = tw.r(cur).Children[i]
+	}
 }
 
 // Remove deletes k, reporting whether it was present.
 func (t *Tree) Remove(k uint64) (bool, error) {
 	found := false
-	err := t.run(func(tw *w) error {
-		found = tw.remove(tw.a.Root, k)
-		if found {
-			tw.a.Count--
-		}
-		// Shrink: an empty internal root is replaced by its only child.
-		rn := tw.r(tw.a.Root)
-		if rn.N == 0 && !rn.leaf() {
-			old := tw.a.Root
-			tw.a.Root = rn.Children[0]
-			tw.free(old)
-		}
-		return nil
-	})
+	err := t.run(func(tw *w) error { return t.removeW(tw, k, &found) })
 	return found, err
+}
+
+// RemoveTx deletes k inside the caller's transaction, reporting whether it
+// was present.
+func (t *Tree) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
+	found := false
+	err := t.runIn(tx, func(tw *w) error { return t.removeW(tw, k, &found) })
+	return found, err
+}
+
+func (t *Tree) removeW(tw *w, k uint64, foundp *bool) error {
+	found := false
+	defer func() { *foundp = found }()
+	found = tw.remove(tw.a.Root, k)
+	if found {
+		tw.a.Count--
+	}
+	// Shrink: an empty internal root is replaced by its only child.
+	rn := tw.r(tw.a.Root)
+	if rn.N == 0 && !rn.leaf() {
+		old := tw.a.Root
+		tw.a.Root = rn.Children[0]
+		tw.free(old)
+	}
+	return nil
 }
 
 // remove deletes k from the subtree at oid; oid always has > minItems
@@ -412,22 +459,27 @@ func (t *w) mergeChildren(oid pangolin.OID, i int) {
 }
 
 func (t *Tree) run(fn func(*w) error) error {
-	return t.p.Run(func(tx *pangolin.Tx) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				te, ok := r.(treeErr)
-				if !ok {
-					panic(r)
-				}
-				err = te.err
+	return t.p.Run(func(tx *pangolin.Tx) error { return t.runIn(tx, fn) })
+}
+
+// runIn executes fn against the caller's transaction, bridging the
+// algorithm's access panics back to an error return (on which the caller
+// must abort the transaction).
+func (t *Tree) runIn(tx *pangolin.Tx, fn func(*w) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			te, ok := r.(treeErr)
+			if !ok {
+				panic(r)
 			}
-		}()
-		a, aerr := pangolin.Open[anchor](tx, t.anchor)
-		if aerr != nil {
-			return aerr
+			err = te.err
 		}
-		return fn(&w{tx: tx, a: a})
-	})
+	}()
+	a, aerr := pangolin.Open[anchor](tx, t.anchor)
+	if aerr != nil {
+		return aerr
+	}
+	return fn(&w{tx: tx, a: a})
 }
 
 // Range calls fn for every key/value pair in ascending key order,

@@ -101,151 +101,185 @@ func (t *Tree) Lookup(k uint64) (uint64, bool, error) {
 	return 0, false, nil
 }
 
+// LookupTx is Lookup inside the caller's transaction: reads come from the
+// transaction's micro-buffers when it has nodes open, so the caller's own
+// uncommitted inserts and removes are visible.
+func (t *Tree) LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error) {
+	a, err := pangolin.Get[anchor](tx, t.anchor)
+	if err != nil {
+		return 0, false, err
+	}
+	cur := a.Root
+	for !cur.IsNil() {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return 0, false, err
+		}
+		if n.Diff == leafDiff {
+			if n.Key == k {
+				return n.Value, true, nil
+			}
+			return 0, false, nil
+		}
+		cur = n.Child[bit(k, n.Diff)]
+	}
+	return 0, false, nil
+}
+
 // Insert adds or updates k in one transaction.
 func (t *Tree) Insert(k, v uint64) error {
-	return t.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, t.anchor)
+	return t.p.Run(func(tx *pangolin.Tx) error { return t.InsertTx(tx, k, v) })
+}
+
+// InsertTx adds or updates k inside the caller's transaction.
+func (t *Tree) InsertTx(tx *pangolin.Tx, k, v uint64) error {
+	a, err := pangolin.Open[anchor](tx, t.anchor)
+	if err != nil {
+		return err
+	}
+	if a.Root.IsNil() {
+		leafOID, leaf, err := pangolin.Alloc[node](tx, typeNode)
 		if err != nil {
 			return err
 		}
-		if a.Root.IsNil() {
-			leafOID, leaf, err := pangolin.Alloc[node](tx, typeNode)
-			if err != nil {
-				return err
-			}
-			*leaf = node{Key: k, Value: v, Diff: leafDiff}
-			a.Root = leafOID
-			a.Count++
-			return nil
-		}
-		// Find the leaf the key would reach.
-		cur := a.Root
-		for {
-			n, err := pangolin.Get[node](tx, cur)
-			if err != nil {
-				return err
-			}
-			if n.Diff == leafDiff {
-				break
-			}
-			cur = n.Child[bit(k, n.Diff)]
-		}
-		leaf, err := pangolin.Get[node](tx, cur)
-		if err != nil {
-			return err
-		}
-		if leaf.Key == k {
-			// In-place value update.
-			w, err := pangolin.Open[node](tx, cur)
-			if err != nil {
-				return err
-			}
-			w.Value = v
-			return nil
-		}
-		d := msbDiff(leaf.Key, k)
-		// Walk again to the insertion point: the first node whose Diff
-		// is below d (or a leaf).
-		parent := pangolin.NilOID
-		parentDir := 0
-		cur = a.Root
-		for {
-			n, err := pangolin.Get[node](tx, cur)
-			if err != nil {
-				return err
-			}
-			if n.Diff == leafDiff || n.Diff < d {
-				break
-			}
-			parent = cur
-			parentDir = bit(k, n.Diff)
-			cur = n.Child[parentDir]
-		}
-		// New leaf and new internal node above cur.
-		leafOID, newLeaf, err := pangolin.Alloc[node](tx, typeNode)
-		if err != nil {
-			return err
-		}
-		*newLeaf = node{Key: k, Value: v, Diff: leafDiff}
-		innerOID, inner, err := pangolin.Alloc[node](tx, typeNode)
-		if err != nil {
-			return err
-		}
-		inner.Diff = d
-		inner.Child[bit(k, d)] = leafOID
-		inner.Child[1-bit(k, d)] = cur
-		if parent.IsNil() {
-			a.Root = innerOID
-		} else {
-			pn, err := pangolin.Open[node](tx, parent)
-			if err != nil {
-				return err
-			}
-			pn.Child[parentDir] = innerOID
-		}
+		*leaf = node{Key: k, Value: v, Diff: leafDiff}
+		a.Root = leafOID
 		a.Count++
 		return nil
-	})
+	}
+	// Find the leaf the key would reach.
+	cur := a.Root
+	for {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return err
+		}
+		if n.Diff == leafDiff {
+			break
+		}
+		cur = n.Child[bit(k, n.Diff)]
+	}
+	leaf, err := pangolin.Get[node](tx, cur)
+	if err != nil {
+		return err
+	}
+	if leaf.Key == k {
+		// In-place value update.
+		w, err := pangolin.Open[node](tx, cur)
+		if err != nil {
+			return err
+		}
+		w.Value = v
+		return nil
+	}
+	d := msbDiff(leaf.Key, k)
+	// Walk again to the insertion point: the first node whose Diff
+	// is below d (or a leaf).
+	parent := pangolin.NilOID
+	parentDir := 0
+	cur = a.Root
+	for {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return err
+		}
+		if n.Diff == leafDiff || n.Diff < d {
+			break
+		}
+		parent = cur
+		parentDir = bit(k, n.Diff)
+		cur = n.Child[parentDir]
+	}
+	// New leaf and new internal node above cur.
+	leafOID, newLeaf, err := pangolin.Alloc[node](tx, typeNode)
+	if err != nil {
+		return err
+	}
+	*newLeaf = node{Key: k, Value: v, Diff: leafDiff}
+	innerOID, inner, err := pangolin.Alloc[node](tx, typeNode)
+	if err != nil {
+		return err
+	}
+	inner.Diff = d
+	inner.Child[bit(k, d)] = leafOID
+	inner.Child[1-bit(k, d)] = cur
+	if parent.IsNil() {
+		a.Root = innerOID
+	} else {
+		pn, err := pangolin.Open[node](tx, parent)
+		if err != nil {
+			return err
+		}
+		pn.Child[parentDir] = innerOID
+	}
+	a.Count++
+	return nil
 }
 
 // Remove deletes k, reporting whether it was present.
 func (t *Tree) Remove(k uint64) (bool, error) {
 	found := false
 	err := t.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, t.anchor)
-		if err != nil {
-			return err
-		}
-		if a.Root.IsNil() {
-			return nil
-		}
-		// Track leaf, its parent, and grandparent.
-		var gparent, parent pangolin.OID
-		gdir, pdir := 0, 0
-		cur := a.Root
-		for {
-			n, err := pangolin.Get[node](tx, cur)
-			if err != nil {
-				return err
-			}
-			if n.Diff == leafDiff {
-				if n.Key != k {
-					return nil
-				}
-				break
-			}
-			gparent, gdir = parent, pdir
-			parent, pdir = cur, bit(k, n.Diff)
-			cur = n.Child[pdir]
-		}
-		found = true
-		if parent.IsNil() {
-			// The leaf was the root.
-			a.Root = pangolin.NilOID
-			a.Count--
-			return tx.Free(cur)
-		}
-		pn, err := pangolin.Get[node](tx, parent)
-		if err != nil {
-			return err
-		}
-		sibling := pn.Child[1-pdir]
-		if gparent.IsNil() {
-			a.Root = sibling
-		} else {
-			gn, err := pangolin.Open[node](tx, gparent)
-			if err != nil {
-				return err
-			}
-			gn.Child[gdir] = sibling
-		}
-		a.Count--
-		if err := tx.Free(cur); err != nil {
-			return err
-		}
-		return tx.Free(parent)
+		var err error
+		found, err = t.RemoveTx(tx, k)
+		return err
 	})
 	return found, err
+}
+
+// RemoveTx deletes k inside the caller's transaction.
+func (t *Tree) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
+	a, err := pangolin.Open[anchor](tx, t.anchor)
+	if err != nil {
+		return false, err
+	}
+	if a.Root.IsNil() {
+		return false, nil
+	}
+	// Track leaf, its parent, and grandparent.
+	var gparent, parent pangolin.OID
+	gdir, pdir := 0, 0
+	cur := a.Root
+	for {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return false, err
+		}
+		if n.Diff == leafDiff {
+			if n.Key != k {
+				return false, nil
+			}
+			break
+		}
+		gparent, gdir = parent, pdir
+		parent, pdir = cur, bit(k, n.Diff)
+		cur = n.Child[pdir]
+	}
+	if parent.IsNil() {
+		// The leaf was the root.
+		a.Root = pangolin.NilOID
+		a.Count--
+		return true, tx.Free(cur)
+	}
+	pn, err := pangolin.Get[node](tx, parent)
+	if err != nil {
+		return false, err
+	}
+	sibling := pn.Child[1-pdir]
+	if gparent.IsNil() {
+		a.Root = sibling
+	} else {
+		gn, err := pangolin.Open[node](tx, gparent)
+		if err != nil {
+			return false, err
+		}
+		gn.Child[gdir] = sibling
+	}
+	a.Count--
+	if err := tx.Free(cur); err != nil {
+		return true, err
+	}
+	return true, tx.Free(parent)
 }
 
 // Len returns the number of keys.

@@ -154,56 +154,86 @@ func (m *Map) Lookup(k uint64) (uint64, bool, error) {
 	return 0, false, nil
 }
 
+// LookupTx is Lookup inside the caller's transaction: the table and chain
+// reads come from the transaction's micro-buffers when open, so the
+// caller's own uncommitted inserts and removes are visible.
+func (m *Map) LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error) {
+	a, err := pangolin.Get[anchor](tx, m.anchor)
+	if err != nil {
+		return 0, false, err
+	}
+	table, err := tx.Get(a.Table)
+	if err != nil {
+		return 0, false, err
+	}
+	n := binary.LittleEndian.Uint64(table[0:])
+	cur := bucketOID(table, hash(k)%n)
+	for !cur.IsNil() {
+		e, err := pangolin.Get[entry](tx, cur)
+		if err != nil {
+			return 0, false, err
+		}
+		if e.Key == k {
+			return e.Value, true, nil
+		}
+		cur = e.Next
+	}
+	return 0, false, nil
+}
+
 // Insert adds or updates k in one transaction, growing the table at load
 // factor 2.
 func (m *Map) Insert(k, v uint64) error {
-	return m.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, m.anchor)
+	return m.p.Run(func(tx *pangolin.Tx) error { return m.InsertTx(tx, k, v) })
+}
+
+// InsertTx adds or updates k inside the caller's transaction.
+func (m *Map) InsertTx(tx *pangolin.Tx, k, v uint64) error {
+	a, err := pangolin.Open[anchor](tx, m.anchor)
+	if err != nil {
+		return err
+	}
+	table, err := tx.Get(a.Table)
+	if err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint64(table[0:])
+	idx := hash(k) % n
+	// Chain scan.
+	cur := bucketOID(table, idx)
+	for !cur.IsNil() {
+		e, err := pangolin.Get[entry](tx, cur)
 		if err != nil {
 			return err
 		}
-		table, err := tx.Get(a.Table)
-		if err != nil {
-			return err
-		}
-		n := binary.LittleEndian.Uint64(table[0:])
-		idx := hash(k) % n
-		// Chain scan.
-		cur := bucketOID(table, idx)
-		for !cur.IsNil() {
-			e, err := pangolin.Get[entry](tx, cur)
+		if e.Key == k {
+			we, err := pangolin.Open[entry](tx, cur)
 			if err != nil {
 				return err
 			}
-			if e.Key == k {
-				we, err := pangolin.Open[entry](tx, cur)
-				if err != nil {
-					return err
-				}
-				we.Value = v
-				return nil
-			}
-			cur = e.Next
+			we.Value = v
+			return nil
 		}
-		// New entry at the chain head; only 16 bytes of the table
-		// object are declared modified.
-		eOID, e, err := pangolin.Alloc[entry](tx, typeEntry)
-		if err != nil {
-			return err
-		}
-		e.Key, e.Value = k, v
-		e.Next = bucketOID(table, idx)
-		wTable, err := tx.AddRange(a.Table, tableHeaderSize+idx*bucketSize, bucketSize)
-		if err != nil {
-			return err
-		}
-		putBucketOID(wTable, idx, eOID)
-		a.Count++
-		if a.Count > 2*n {
-			return m.grow(tx, a, n*2)
-		}
-		return nil
-	})
+		cur = e.Next
+	}
+	// New entry at the chain head; only 16 bytes of the table
+	// object are declared modified.
+	eOID, e, err := pangolin.Alloc[entry](tx, typeEntry)
+	if err != nil {
+		return err
+	}
+	e.Key, e.Value = k, v
+	e.Next = bucketOID(table, idx)
+	wTable, err := tx.AddRange(a.Table, tableHeaderSize+idx*bucketSize, bucketSize)
+	if err != nil {
+		return err
+	}
+	putBucketOID(wTable, idx, eOID)
+	a.Count++
+	if a.Count > 2*n {
+		return m.grow(tx, a, n*2)
+	}
+	return nil
 }
 
 // grow rehashes into a table of newBuckets buckets within the caller's
@@ -246,47 +276,53 @@ func (m *Map) grow(tx *pangolin.Tx, a *anchor, newBuckets uint64) error {
 func (m *Map) Remove(k uint64) (bool, error) {
 	found := false
 	err := m.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, m.anchor)
-		if err != nil {
-			return err
-		}
-		table, err := tx.Get(a.Table)
-		if err != nil {
-			return err
-		}
-		n := binary.LittleEndian.Uint64(table[0:])
-		idx := hash(k) % n
-		prev := pangolin.NilOID
-		cur := bucketOID(table, idx)
-		for !cur.IsNil() {
-			e, err := pangolin.Get[entry](tx, cur)
-			if err != nil {
-				return err
-			}
-			if e.Key == k {
-				found = true
-				next := e.Next
-				if prev.IsNil() {
-					wTable, err := tx.AddRange(a.Table, tableHeaderSize+idx*bucketSize, bucketSize)
-					if err != nil {
-						return err
-					}
-					putBucketOID(wTable, idx, next)
-				} else {
-					wp, err := pangolin.Open[entry](tx, prev)
-					if err != nil {
-						return err
-					}
-					wp.Next = next
-				}
-				a.Count--
-				return tx.Free(cur)
-			}
-			prev, cur = cur, e.Next
-		}
-		return nil
+		var err error
+		found, err = m.RemoveTx(tx, k)
+		return err
 	})
 	return found, err
+}
+
+// RemoveTx deletes k inside the caller's transaction.
+func (m *Map) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
+	a, err := pangolin.Open[anchor](tx, m.anchor)
+	if err != nil {
+		return false, err
+	}
+	table, err := tx.Get(a.Table)
+	if err != nil {
+		return false, err
+	}
+	n := binary.LittleEndian.Uint64(table[0:])
+	idx := hash(k) % n
+	prev := pangolin.NilOID
+	cur := bucketOID(table, idx)
+	for !cur.IsNil() {
+		e, err := pangolin.Get[entry](tx, cur)
+		if err != nil {
+			return false, err
+		}
+		if e.Key == k {
+			next := e.Next
+			if prev.IsNil() {
+				wTable, err := tx.AddRange(a.Table, tableHeaderSize+idx*bucketSize, bucketSize)
+				if err != nil {
+					return false, err
+				}
+				putBucketOID(wTable, idx, next)
+			} else {
+				wp, err := pangolin.Open[entry](tx, prev)
+				if err != nil {
+					return false, err
+				}
+				wp.Next = next
+			}
+			a.Count--
+			return true, tx.Free(cur)
+		}
+		prev, cur = cur, e.Next
+	}
+	return false, nil
 }
 
 // Range calls fn for every key/value pair in unspecified order, stopping

@@ -10,6 +10,14 @@ import "github.com/pangolin-go/pangolin"
 // Map is a persistent uint64 → uint64 key-value store. Implementations
 // are safe for use from one goroutine at a time (transactions are
 // per-goroutine; see §3.4).
+//
+// The Tx variants run inside a caller-owned transaction, so a caller can
+// group many operations into one commit — one log persist, one fence,
+// one parity pass — which is the group-commit lever the serving layer
+// uses. Within the transaction, later operations observe earlier ones
+// (LookupTx reads the transaction's micro-buffers); nothing is durable
+// until the caller commits, and an abort discards every grouped
+// operation together.
 type Map interface {
 	// Insert adds or updates a key in one transaction.
 	Insert(k, v uint64) error
@@ -18,6 +26,15 @@ type Map interface {
 	Lookup(k uint64) (uint64, bool, error)
 	// Remove deletes k, reporting whether it was present.
 	Remove(k uint64) (bool, error)
+	// InsertTx is Insert inside the caller's transaction. On error the
+	// caller must abort tx: the structure may be half-modified.
+	InsertTx(tx *pangolin.Tx, k, v uint64) error
+	// LookupTx is Lookup inside the caller's transaction, observing the
+	// transaction's own uncommitted writes.
+	LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error)
+	// RemoveTx is Remove inside the caller's transaction. On error the
+	// caller must abort tx.
+	RemoveTx(tx *pangolin.Tx, k uint64) (bool, error)
 	// Anchor returns the OID of the structure's persistent anchor;
 	// passing it to the structure's Attach function reconnects after a
 	// pool reopen.

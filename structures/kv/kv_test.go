@@ -1,0 +1,55 @@
+// Contract tests for the kv.Map interface: every structure behind the
+// registry must satisfy the same single-op and group-commit semantics,
+// since the serving layer treats them interchangeably. The structures'
+// own packages run the basic conformance suite; this suite exercises the
+// registry surface (New/Attach as a service would call them) and the
+// batch contract, including crash recovery from a mid-batch image.
+package kv_test
+
+import (
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/structures/kv/registry"
+	"github.com/pangolin-go/pangolin/structures/kvtest"
+)
+
+func harnessFor(s registry.Structure) kvtest.Harness {
+	return kvtest.Harness{
+		Make:   func(p *pangolin.Pool) (kv.Map, error) { return s.New(p) },
+		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return s.Attach(p, a) },
+	}
+}
+
+// TestRegistryStructuresBatchContract runs the group-commit suite over
+// all six registered structures.
+func TestRegistryStructuresBatchContract(t *testing.T) {
+	for _, name := range registry.Names() {
+		s, err := registry.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && name != "hashmap" && name != "btree" {
+				t.Skip("short mode: batch contract runs on two representative structures")
+			}
+			kvtest.RunBatch(t, harnessFor(s))
+		})
+	}
+}
+
+// TestRegistryStructuresBasicContract runs the core conformance suite
+// through the registry's constructors, the exact path services use.
+func TestRegistryStructuresBasicContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the structures' own packages cover RunAll")
+	}
+	for _, name := range registry.Names() {
+		s, err := registry.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { kvtest.RunAll(t, harnessFor(s)) })
+	}
+}

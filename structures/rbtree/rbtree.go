@@ -190,46 +190,78 @@ func (t *w) rotateRight(x pangolin.OID) {
 	xn.Parent = y
 }
 
+// LookupTx is Lookup inside the caller's transaction, observing the
+// transaction's own uncommitted writes.
+func (t *Tree) LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error) {
+	a, err := pangolin.Get[anchor](tx, t.anchor)
+	if err != nil {
+		return 0, false, err
+	}
+	cur := a.Root
+	for cur != t.sentinel {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return 0, false, err
+		}
+		switch {
+		case k == n.Key:
+			return n.Value, true, nil
+		case k < n.Key:
+			cur = n.Left
+		default:
+			cur = n.Right
+		}
+	}
+	return 0, false, nil
+}
+
 // Insert adds or updates k in one transaction.
 func (t *Tree) Insert(k, v uint64) error {
-	return t.run(func(tw *w) error {
-		// BST descent: reads only (pgl_get), writes declared on the
-		// touched nodes below.
-		parent := tw.s
-		cur := tw.a.Root
-		for cur != tw.s {
-			cn := tw.r(cur)
-			if k == cn.Key {
-				tw.n(cur).Value = v
-				return nil
-			}
-			parent = cur
-			if k < cn.Key {
-				cur = cn.Left
-			} else {
-				cur = cn.Right
-			}
+	return t.run(func(tw *w) error { return t.insertW(tw, k, v) })
+}
+
+// InsertTx adds or updates k inside the caller's transaction.
+func (t *Tree) InsertTx(tx *pangolin.Tx, k, v uint64) error {
+	return t.runIn(tx, func(tw *w) error { return t.insertW(tw, k, v) })
+}
+
+func (t *Tree) insertW(tw *w, k, v uint64) error {
+	// BST descent: reads only (pgl_get), writes declared on the
+	// touched nodes below.
+	parent := tw.s
+	cur := tw.a.Root
+	for cur != tw.s {
+		cn := tw.r(cur)
+		if k == cn.Key {
+			tw.n(cur).Value = v
+			return nil
 		}
-		zOID, z, err := pangolin.Alloc[node](tw.tx, typeNode)
-		if err != nil {
-			return err
+		parent = cur
+		if k < cn.Key {
+			cur = cn.Left
+		} else {
+			cur = cn.Right
 		}
-		z.Key, z.Value = k, v
-		z.Color = red
-		z.Left, z.Right = tw.s, tw.s
-		z.Parent = parent
-		switch {
-		case parent == tw.s:
-			tw.a.Root = zOID
-		case k < tw.r(parent).Key:
-			tw.n(parent).Left = zOID
-		default:
-			tw.n(parent).Right = zOID
-		}
-		tw.a.Count++
-		tw.insertFixup(zOID)
-		return nil
-	})
+	}
+	zOID, z, err := pangolin.Alloc[node](tw.tx, typeNode)
+	if err != nil {
+		return err
+	}
+	z.Key, z.Value = k, v
+	z.Color = red
+	z.Left, z.Right = tw.s, tw.s
+	z.Parent = parent
+	switch {
+	case parent == tw.s:
+		tw.a.Root = zOID
+	case k < tw.r(parent).Key:
+		tw.n(parent).Left = zOID
+	default:
+		tw.n(parent).Right = zOID
+	}
+	tw.a.Count++
+	tw.insertFixup(zOID)
+	return nil
 }
 
 func (t *w) insertFixup(z pangolin.OID) {
@@ -298,60 +330,70 @@ func (t *w) transplant(u, v pangolin.OID) {
 // Remove deletes k, reporting whether it was present.
 func (t *Tree) Remove(k uint64) (bool, error) {
 	found := false
-	err := t.run(func(tw *w) error {
-		z := tw.a.Root
-		for z != tw.s {
-			zn := tw.r(z)
-			if k == zn.Key {
-				break
-			}
-			if k < zn.Key {
-				z = zn.Left
-			} else {
-				z = zn.Right
-			}
-		}
-		if z == tw.s {
-			return nil
-		}
-		found = true
-		y := z
-		yColor := tw.n(y).Color
-		var x pangolin.OID
-		switch {
-		case tw.n(z).Left == tw.s:
-			x = tw.n(z).Right
-			tw.transplant(z, x)
-		case tw.n(z).Right == tw.s:
-			x = tw.n(z).Left
-			tw.transplant(z, x)
-		default:
-			// Successor: minimum of right subtree.
-			y = tw.n(z).Right
-			for tw.n(y).Left != tw.s {
-				y = tw.n(y).Left
-			}
-			yColor = tw.n(y).Color
-			x = tw.n(y).Right
-			if tw.n(y).Parent == z {
-				tw.n(x).Parent = y
-			} else {
-				tw.transplant(y, x)
-				tw.n(y).Right = tw.n(z).Right
-				tw.n(tw.n(y).Right).Parent = y
-			}
-			tw.transplant(z, y)
-			tw.n(y).Left = tw.n(z).Left
-			tw.n(tw.n(y).Left).Parent = y
-			tw.n(y).Color = tw.n(z).Color
-		}
-		if yColor == black {
-			tw.deleteFixup(x)
-		}
-		tw.a.Count--
-		return tw.tx.Free(z)
-	})
+	err := t.run(func(tw *w) error { return t.removeW(tw, k, &found) })
 	return found, err
+}
+
+// RemoveTx deletes k inside the caller's transaction, reporting whether it
+// was present.
+func (t *Tree) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
+	found := false
+	err := t.runIn(tx, func(tw *w) error { return t.removeW(tw, k, &found) })
+	return found, err
+}
+
+func (t *Tree) removeW(tw *w, k uint64, found *bool) error {
+	z := tw.a.Root
+	for z != tw.s {
+		zn := tw.r(z)
+		if k == zn.Key {
+			break
+		}
+		if k < zn.Key {
+			z = zn.Left
+		} else {
+			z = zn.Right
+		}
+	}
+	if z == tw.s {
+		return nil
+	}
+	*found = true
+	y := z
+	yColor := tw.n(y).Color
+	var x pangolin.OID
+	switch {
+	case tw.n(z).Left == tw.s:
+		x = tw.n(z).Right
+		tw.transplant(z, x)
+	case tw.n(z).Right == tw.s:
+		x = tw.n(z).Left
+		tw.transplant(z, x)
+	default:
+		// Successor: minimum of right subtree.
+		y = tw.n(z).Right
+		for tw.n(y).Left != tw.s {
+			y = tw.n(y).Left
+		}
+		yColor = tw.n(y).Color
+		x = tw.n(y).Right
+		if tw.n(y).Parent == z {
+			tw.n(x).Parent = y
+		} else {
+			tw.transplant(y, x)
+			tw.n(y).Right = tw.n(z).Right
+			tw.n(tw.n(y).Right).Parent = y
+		}
+		tw.transplant(z, y)
+		tw.n(y).Left = tw.n(z).Left
+		tw.n(tw.n(y).Left).Parent = y
+		tw.n(y).Color = tw.n(z).Color
+	}
+	if yColor == black {
+		tw.deleteFixup(x)
+	}
+	tw.a.Count--
+	return tw.tx.Free(z)
 }
 
 func (t *w) deleteFixup(x pangolin.OID) {
@@ -416,22 +458,27 @@ func (t *w) deleteFixup(x pangolin.OID) {
 
 // run wraps a mutation in a transaction with the panic-to-error bridge.
 func (t *Tree) run(fn func(*w) error) error {
-	return t.p.Run(func(tx *pangolin.Tx) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				te, ok := r.(treeErr)
-				if !ok {
-					panic(r)
-				}
-				err = te.err
+	return t.p.Run(func(tx *pangolin.Tx) error { return t.runIn(tx, fn) })
+}
+
+// runIn executes fn against the caller's transaction, bridging the
+// algorithm's access panics back to an error return (on which the caller
+// must abort the transaction).
+func (t *Tree) runIn(tx *pangolin.Tx, fn func(*w) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			te, ok := r.(treeErr)
+			if !ok {
+				panic(r)
 			}
-		}()
-		a, aerr := pangolin.Open[anchor](tx, t.anchor)
-		if aerr != nil {
-			return aerr
+			err = te.err
 		}
-		return fn(&w{tx: tx, a: a, s: t.sentinel})
-	})
+	}()
+	a, aerr := pangolin.Open[anchor](tx, t.anchor)
+	if aerr != nil {
+		return aerr
+	}
+	return fn(&w{tx: tx, a: a, s: t.sentinel})
 }
 
 // Validate checks the red-black invariants (test helper): root is black,

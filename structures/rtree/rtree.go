@@ -129,53 +129,84 @@ func (t *Tree) Lookup(k uint64) (uint64, bool, error) {
 	return leaf.Value, true, nil
 }
 
+// LookupTx is Lookup inside the caller's transaction, observing the
+// transaction's own uncommitted writes.
+func (t *Tree) LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error) {
+	a, err := pangolin.Get[anchor](tx, t.anchor)
+	if err != nil {
+		return 0, false, err
+	}
+	cur := a.Root
+	for d := 0; d < depth; d++ {
+		n, err := pangolin.Get[node](tx, cur)
+		if err != nil {
+			return 0, false, err
+		}
+		cur = n.Children[keyByte(k, d)]
+		if cur.IsNil() {
+			return 0, false, nil
+		}
+	}
+	leaf, err := pangolin.Get[node](tx, cur)
+	if err != nil {
+		return 0, false, err
+	}
+	if leaf.Refs == 0 {
+		return 0, false, nil
+	}
+	return leaf.Value, true, nil
+}
+
 // Insert adds or updates k in one transaction, allocating the missing
 // path nodes.
 func (t *Tree) Insert(k, v uint64) error {
-	return t.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, t.anchor)
+	return t.p.Run(func(tx *pangolin.Tx) error { return t.InsertTx(tx, k, v) })
+}
+
+// InsertTx adds or updates k inside the caller's transaction.
+func (t *Tree) InsertTx(tx *pangolin.Tx, k, v uint64) error {
+	a, err := pangolin.Open[anchor](tx, t.anchor)
+	if err != nil {
+		return err
+	}
+	cur := a.Root
+	for d := 0; d < depth; d++ {
+		b := keyByte(k, d)
+		n, err := pangolin.Get[node](tx, cur)
 		if err != nil {
 			return err
 		}
-		cur := a.Root
-		for d := 0; d < depth; d++ {
-			b := keyByte(k, d)
-			n, err := pangolin.Get[node](tx, cur)
+		child := n.Children[b]
+		if child.IsNil() {
+			childOID, _, err := pangolin.Alloc[node](tx, typeNode)
 			if err != nil {
 				return err
 			}
-			child := n.Children[b]
-			if child.IsNil() {
-				childOID, _, err := pangolin.Alloc[node](tx, typeNode)
-				if err != nil {
-					return err
-				}
-				wn, err := openSlot(tx, cur, b)
-				if err != nil {
-					return err
-				}
-				wn.Children[b] = childOID
-				wn.Refs++
-				child = childOID
+			wn, err := openSlot(tx, cur, b)
+			if err != nil {
+				return err
 			}
-			cur = child
+			wn.Children[b] = childOID
+			wn.Refs++
+			child = childOID
 		}
-		// Leaf: declare only the value and liveness fields.
-		data, err := tx.AddRange(cur, offValue, 16)
-		if err != nil {
-			return err
-		}
-		leaf, err := pangolin.View[node](data)
-		if err != nil {
-			return err
-		}
-		if leaf.Refs == 0 {
-			a.Count++
-		}
-		leaf.Refs = 1 // leaf liveness marker
-		leaf.Value = v
-		return nil
-	})
+		cur = child
+	}
+	// Leaf: declare only the value and liveness fields.
+	data, err := tx.AddRange(cur, offValue, 16)
+	if err != nil {
+		return err
+	}
+	leaf, err := pangolin.View[node](data)
+	if err != nil {
+		return err
+	}
+	if leaf.Refs == 0 {
+		a.Count++
+	}
+	leaf.Refs = 1 // leaf liveness marker
+	leaf.Value = v
+	return nil
 }
 
 // Remove deletes k, pruning now-empty path nodes, and reports whether the
@@ -183,6 +214,18 @@ func (t *Tree) Insert(k, v uint64) error {
 func (t *Tree) Remove(k uint64) (bool, error) {
 	found := false
 	err := t.p.Run(func(tx *pangolin.Tx) error {
+		var err error
+		found, err = t.RemoveTx(tx, k)
+		return err
+	})
+	return found, err
+}
+
+// RemoveTx deletes k inside the caller's transaction, reporting whether it
+// was present.
+func (t *Tree) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
+	found := false
+	err := func() error {
 		a, err := pangolin.Open[anchor](tx, t.anchor)
 		if err != nil {
 			return err
@@ -228,7 +271,7 @@ func (t *Tree) Remove(k uint64) (bool, error) {
 			victim = path[d]
 		}
 		return nil
-	})
+	}()
 	return found, err
 }
 

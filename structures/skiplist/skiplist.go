@@ -153,64 +153,95 @@ func (l *List) findUpdate(tx *pangolin.Tx, head pangolin.OID, k uint64) ([maxLev
 	return update, nil
 }
 
+// LookupTx is Lookup inside the caller's transaction, observing the
+// transaction's own uncommitted writes.
+func (l *List) LookupTx(tx *pangolin.Tx, k uint64) (uint64, bool, error) {
+	a, err := pangolin.Get[anchor](tx, l.anchor)
+	if err != nil {
+		return 0, false, err
+	}
+	update, err := l.findUpdate(tx, a.Head, k)
+	if err != nil {
+		return 0, false, err
+	}
+	pred0, err := pangolin.Get[node](tx, update[0])
+	if err != nil {
+		return 0, false, err
+	}
+	if pred0.Next[0].IsNil() {
+		return 0, false, nil
+	}
+	cand, err := pangolin.Get[node](tx, pred0.Next[0])
+	if err != nil {
+		return 0, false, err
+	}
+	if cand.Key == k {
+		return cand.Value, true, nil
+	}
+	return 0, false, nil
+}
+
 // Insert adds or updates k in one transaction.
 func (l *List) Insert(k, v uint64) error {
+	return l.p.Run(func(tx *pangolin.Tx) error { return l.InsertTx(tx, k, v) })
+}
+
+// InsertTx adds or updates k inside the caller's transaction.
+func (l *List) InsertTx(tx *pangolin.Tx, k, v uint64) error {
 	level := l.randLevel()
-	return l.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, l.anchor)
+	a, err := pangolin.Open[anchor](tx, l.anchor)
+	if err != nil {
+		return err
+	}
+	update, err := l.findUpdate(tx, a.Head, k)
+	if err != nil {
+		return err
+	}
+	pred0, err := pangolin.Get[node](tx, update[0])
+	if err != nil {
+		return err
+	}
+	if !pred0.Next[0].IsNil() {
+		cand, err := pangolin.Get[node](tx, pred0.Next[0])
 		if err != nil {
 			return err
 		}
-		update, err := l.findUpdate(tx, a.Head, k)
-		if err != nil {
-			return err
-		}
-		pred0, err := pangolin.Get[node](tx, update[0])
-		if err != nil {
-			return err
-		}
-		if !pred0.Next[0].IsNil() {
-			cand, err := pangolin.Get[node](tx, pred0.Next[0])
+		if cand.Key == k {
+			// Declare only the 8-byte value field modified.
+			data, err := tx.AddRange(pred0.Next[0], offValue, 8)
 			if err != nil {
 				return err
 			}
-			if cand.Key == k {
-				// Declare only the 8-byte value field modified.
-				data, err := tx.AddRange(pred0.Next[0], offValue, 8)
-				if err != nil {
-					return err
-				}
-				wn, err := pangolin.View[node](data)
-				if err != nil {
-					return err
-				}
-				wn.Value = v
-				return nil
+			wn, err := pangolin.View[node](data)
+			if err != nil {
+				return err
 			}
+			wn.Value = v
+			return nil
 		}
-		nOID, n, err := pangolin.Alloc[node](tx, typeNode)
+	}
+	nOID, n, err := pangolin.Alloc[node](tx, typeNode)
+	if err != nil {
+		return err
+	}
+	n.Key, n.Value, n.Level = k, v, level
+	for lv := uint64(0); lv < level; lv++ {
+		// Declare only the touched forward pointer (16 bytes per
+		// level) — skiplist transactions modify a handful of
+		// pointers of 408-byte nodes (Table 3).
+		data, err := tx.AddRange(update[lv], lv*16, 16)
 		if err != nil {
 			return err
 		}
-		n.Key, n.Value, n.Level = k, v, level
-		for lv := uint64(0); lv < level; lv++ {
-			// Declare only the touched forward pointer (16 bytes per
-			// level) — skiplist transactions modify a handful of
-			// pointers of 408-byte nodes (Table 3).
-			data, err := tx.AddRange(update[lv], lv*16, 16)
-			if err != nil {
-				return err
-			}
-			pred, err := pangolin.View[node](data)
-			if err != nil {
-				return err
-			}
-			n.Next[lv] = pred.Next[lv]
-			pred.Next[lv] = nOID
+		pred, err := pangolin.View[node](data)
+		if err != nil {
+			return err
 		}
-		a.Count++
-		return nil
-	})
+		n.Next[lv] = pred.Next[lv]
+		pred.Next[lv] = nOID
+	}
+	a.Count++
+	return nil
 }
 
 // Field offsets within the node's user data (for ranged updates).
@@ -222,52 +253,59 @@ const (
 func (l *List) Remove(k uint64) (bool, error) {
 	found := false
 	err := l.p.Run(func(tx *pangolin.Tx) error {
-		a, err := pangolin.Open[anchor](tx, l.anchor)
-		if err != nil {
-			return err
-		}
-		update, err := l.findUpdate(tx, a.Head, k)
-		if err != nil {
-			return err
-		}
-		pred0, err := pangolin.Get[node](tx, update[0])
-		if err != nil {
-			return err
-		}
-		victim := pred0.Next[0]
-		if victim.IsNil() {
-			return nil
-		}
-		vn, err := pangolin.Get[node](tx, victim)
-		if err != nil {
-			return err
-		}
-		if vn.Key != k {
-			return nil
-		}
-		found = true
-		for lv := uint64(0); lv < vn.Level; lv++ {
-			predR, err := pangolin.Get[node](tx, update[lv])
-			if err != nil {
-				return err
-			}
-			if predR.Next[lv] != victim {
-				continue
-			}
-			data, err := tx.AddRange(update[lv], lv*16, 16)
-			if err != nil {
-				return err
-			}
-			pred, err := pangolin.View[node](data)
-			if err != nil {
-				return err
-			}
-			pred.Next[lv] = vn.Next[lv]
-		}
-		a.Count--
-		return tx.Free(victim)
+		var err error
+		found, err = l.RemoveTx(tx, k)
+		return err
 	})
 	return found, err
+}
+
+// RemoveTx deletes k inside the caller's transaction, reporting whether it
+// was present.
+func (l *List) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
+	a, err := pangolin.Open[anchor](tx, l.anchor)
+	if err != nil {
+		return false, err
+	}
+	update, err := l.findUpdate(tx, a.Head, k)
+	if err != nil {
+		return false, err
+	}
+	pred0, err := pangolin.Get[node](tx, update[0])
+	if err != nil {
+		return false, err
+	}
+	victim := pred0.Next[0]
+	if victim.IsNil() {
+		return false, nil
+	}
+	vn, err := pangolin.Get[node](tx, victim)
+	if err != nil {
+		return false, err
+	}
+	if vn.Key != k {
+		return false, nil
+	}
+	for lv := uint64(0); lv < vn.Level; lv++ {
+		predR, err := pangolin.Get[node](tx, update[lv])
+		if err != nil {
+			return false, err
+		}
+		if predR.Next[lv] != victim {
+			continue
+		}
+		data, err := tx.AddRange(update[lv], lv*16, 16)
+		if err != nil {
+			return false, err
+		}
+		pred, err := pangolin.View[node](data)
+		if err != nil {
+			return false, err
+		}
+		pred.Next[lv] = vn.Next[lv]
+	}
+	a.Count--
+	return true, tx.Free(victim)
 }
 
 // Range calls fn for every key/value pair in ascending key order (the
