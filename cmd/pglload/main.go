@@ -8,7 +8,12 @@
 //	pglload -addr 127.0.0.1:7499 -clients 32 -ops 100000
 //
 // The workload is keys uniform in [0, -keys), with a put/get/del mix set
-// by -reads and -dels (the remainder is puts). With -batch N each client
+// by -reads and -dels (the remainder is puts): -reads 0.9 -dels 0.02 is
+// the read-heavy mix scripts/loadtest.sh uses to measure the concurrent
+// read fast path against the worker-serialized baseline (pglserve
+// -serial-reads). The server_stats block in the report carries
+// fast_gets/fast_fallbacks, so a run can assert which read path served
+// it. With -batch N each client
 // sends MGET/MPUT/MDEL frames of N operations instead of single-op
 // frames, exercising the server's group-commit path; reported ops and
 // ops/sec still count individual operations, while the latency

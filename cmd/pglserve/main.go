@@ -5,7 +5,12 @@
 //
 // If dir holds no shard files the set is created with -shards shards of
 // -structure; otherwise the existing set is opened (crash-recovering every
-// shard) and -shards / -structure are ignored. On SIGINT/SIGTERM the
+// shard) and -shards / -structure are ignored. GETs are served on the
+// concurrent verified-read fast path (checksum-verified lookups from the
+// connection handlers' goroutines, no worker hop) unless -serial-reads
+// forces the old worker-serialized read path — scripts/loadtest.sh uses
+// that switch to A/B the two, and STATS reports fast_gets/fast_fallbacks
+// so either run can prove which path served it. On SIGINT/SIGTERM the
 // server syncs every shard snapshot and exits cleanly. A CRASH request
 // instead makes the process die abruptly after writing per-shard crash
 // images — the hook the load generator uses to exercise recovery.
@@ -50,6 +55,8 @@ func main() {
 	structure := flag.String("structure", "hashmap", fmt.Sprintf("kv structure when creating: %v", registry.Names()))
 	mode := flag.String("mode", "pangolin-mlpc", "pool operation mode")
 	zones := flag.Uint64("zones", 8, "zones per shard pool when creating (capacity)")
+	serialReads := flag.Bool("serial-reads", false,
+		"route every GET through the shard worker (disable the concurrent verified-read fast path); for A/B measurement")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pglserve: -dir is required")
@@ -63,8 +70,9 @@ func main() {
 	geo := pangolin.DefaultGeometry()
 	geo.NumZones = *zones
 	opts := shard.Options{
-		Structure: *structure,
-		Pangolin:  pangolin.Config{Mode: m, Geometry: geo},
+		Structure:   *structure,
+		Pangolin:    pangolin.Config{Mode: m, Geometry: geo},
+		SerialReads: *serialReads,
 	}
 
 	var set *shard.Set
@@ -85,10 +93,11 @@ func main() {
 		log.Fatalf("pglserve: %v", err)
 	}
 	json.NewEncoder(os.Stdout).Encode(map[string]any{
-		"addr":      srv.Addr().String(),
-		"shards":    set.Len(),
-		"structure": set.Structure(),
-		"recovered": recovered,
+		"addr":         srv.Addr().String(),
+		"shards":       set.Len(),
+		"structure":    set.Structure(),
+		"recovered":    recovered,
+		"serial_reads": *serialReads,
 	})
 
 	serveDone := make(chan error, 1)

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pangolin-go/pangolin/internal/shard"
+)
+
+// ReadPath measures the concurrent verified-read fast path against the
+// worker-serialized read path on a shard.Set, across reader counts: the
+// scaling axis of ISSUE 3. Serial reads pay a channel round-trip to the
+// shard's owner goroutine per Get; fast reads run checksum-verified on
+// the callers' goroutines behind the per-shard reader gate, so their
+// throughput should scale with cores while the serial line stays flat.
+// A 10%-write mix shows the fallback behavior under commit pressure.
+func ReadPath(w io.Writer, cfg Config) error {
+	for _, mix := range []struct {
+		name       string
+		writeEvery int
+	}{{"pure reads", 0}, {"90% reads / 10% writes", 10}} {
+		t := &Table{Header: []string{"readers", "serial(ops/s)", "fast(ops/s)", "speedup", "fast_gets", "fallbacks"}}
+		for _, threads := range cfg.Threads {
+			serial, _, _, err := readPathCell(true, threads, mix.writeEvery, cfg.KVOps)
+			if err != nil {
+				return fmt.Errorf("readpath serial %d: %w", threads, err)
+			}
+			fast, fastGets, fallbacks, err := readPathCell(false, threads, mix.writeEvery, cfg.KVOps)
+			if err != nil {
+				return fmt.Errorf("readpath fast %d: %w", threads, err)
+			}
+			t.Add(fmt.Sprintf("%d", threads),
+				fmt.Sprintf("%.0f", serial), fmt.Sprintf("%.0f", fast),
+				fmt.Sprintf("%.2fx", fast/serial),
+				fmt.Sprintf("%d", fastGets), fmt.Sprintf("%d", fallbacks))
+		}
+		fmt.Fprintf(w, "\nConcurrent read path — %s (total ops %d per cell)\n", mix.name, cfg.KVOps)
+		t.Print(w)
+	}
+	return nil
+}
+
+func readPathCell(serial bool, threads, writeEvery, totalOps int) (opsPerSec float64, fastGets, fallbacks uint64, err error) {
+	dir, err := os.MkdirTemp("", "pgl-readpath")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := shard.Create(dir, 4, shard.Options{SerialReads: serial})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer s.Abandon()
+	const keySpace = 1 << 13
+	for k := uint64(0); k < keySpace; k++ {
+		if err := s.Put(k, k); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	var claimed atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, threads)
+	start := time.Now()
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := uint64(g) * 77
+			for i := 0; ; i++ {
+				if claimed.Add(1) > int64(totalOps) {
+					return
+				}
+				k = (k*2654435761 + 1) % keySpace
+				if writeEvery > 0 && i%writeEvery == 0 {
+					if err := s.Put(k, k); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				if _, _, err := s.Get(k); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return 0, 0, 0, err
+	default:
+	}
+	st := s.Stats()
+	return float64(totalOps) / elapsed.Seconds(), st.FastGets, st.FastFallbacks, nil
+}

@@ -147,4 +147,27 @@ type Options struct {
 	// Zero forces zeroing the device at create time — required when the
 	// device may hold prior contents, and the §4.2 pool-init cost.
 	Zero bool
+	// ReadVerifyLimit bounds per-read checksum verification on the
+	// concurrent read path (GetRO): objects larger than this many bytes
+	// are served with header sanity + poison checks only, like the
+	// default verify policy, and rely on scrubbing — verifying a
+	// multi-kilobyte array object (e.g. a hash table) on every read
+	// would make reads cost O(object) instead of O(access), the same
+	// trap §3.5's incremental checksums avoid on the write side. 0
+	// selects the 16 KB default (covers every per-key node of the six
+	// paper structures, rtree's 4 KB nodes included); negative means
+	// no limit.
+	ReadVerifyLimit int
+}
+
+// roVerifyLimit resolves the ReadVerifyLimit option.
+func (o Options) roVerifyLimit() uint64 {
+	switch {
+	case o.ReadVerifyLimit < 0:
+		return ^uint64(0)
+	case o.ReadVerifyLimit == 0:
+		return 16 << 10
+	default:
+		return uint64(o.ReadVerifyLimit)
+	}
 }

@@ -19,10 +19,12 @@ func (e *CorruptionError) Error() string {
 }
 
 // readHeaderChecked reads and sanity-checks an object header, running
-// online recovery on media faults or implausible contents. The header is
-// validated against the allocator's record of the slot so a corrupted size
-// field cannot cause out-of-bounds reads.
-func (e *Engine) readHeaderChecked(oid layout.OID) (layout.ObjHeader, error) {
+// online recovery on media faults or implausible contents when repair is
+// set (and failing fast otherwise — the concurrent read path, which must
+// never mutate the pool). The header is validated against the allocator's
+// record of the slot so a corrupted size field cannot cause out-of-bounds
+// reads.
+func (e *Engine) readHeaderChecked(oid layout.OID, repair bool) (layout.ObjHeader, error) {
 	if oid.IsNil() || oid.Pool != e.uuid {
 		return layout.ObjHeader{}, fmt.Errorf("core: invalid OID %+v for this pool", oid)
 	}
@@ -46,7 +48,7 @@ func (e *Engine) readHeaderChecked(oid layout.OID) (layout.ObjHeader, error) {
 			// header's page from parity.
 			err = &CorruptionError{OID: oid, Reason: fmt.Sprintf("header size %d vs slot %d", hdr.Size, cap_)}
 		}
-		if attempt >= 2 {
+		if !repair || attempt >= 2 {
 			return layout.ObjHeader{}, err
 		}
 		if rerr := e.faultRepair(hoff, layout.ObjHeaderSize, err); rerr != nil {
@@ -59,7 +61,7 @@ func (e *Engine) readHeaderChecked(oid layout.OID) (layout.ObjHeader, error) {
 // verifying the checksum, with online recovery on faults (§3.3, §3.6).
 func (e *Engine) readImage(oid layout.OID, verify bool) ([]byte, layout.ObjHeader, error) {
 	for attempt := 0; ; attempt++ {
-		hdr, err := e.readHeaderChecked(oid)
+		hdr, err := e.readHeaderChecked(oid, true)
 		if err != nil {
 			return nil, layout.ObjHeader{}, err
 		}
@@ -110,7 +112,7 @@ func (e *Engine) Get(oid layout.OID) ([]byte, error) {
 		_ = img // verification pass reads a copy; hand out the live bytes
 		return e.dev.Slice(oid.Off, hdr.UserSize()), nil
 	}
-	hdr, err := e.readHeaderChecked(oid)
+	hdr, err := e.readHeaderChecked(oid, true)
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +125,80 @@ func (e *Engine) Get(oid layout.OID) ([]byte, error) {
 	return e.dev.Slice(oid.Off, hdr.UserSize()), nil
 }
 
+// ErrReadBusy reports that a concurrent read (GetRO) could not proceed
+// because the pool is frozen — or a freeze is pending — for online
+// recovery or scrubbing. The caller should route the read through the
+// pool's owner goroutine, whose repairing read path will wait the freeze
+// out.
+var ErrReadBusy = errors.New("core: pool frozen or freezing; route the read through the owner path")
+
+// CommitEpoch returns a counter that advances on every committed
+// transaction. In micro-buffered modes NVMM object bytes change only
+// inside commits, so two reads of an object at the same epoch (with no
+// concurrent commit — the GetRO contract) observe identical bytes; the
+// verified-read cache keys on it.
+func (e *Engine) CommitEpoch() uint64 { return e.stats.Commits.Load() }
+
+// GetRO is the concurrent verified-read fast path (§3.3: readers verify
+// per-object checksums straight from NVMM and do not serialize against
+// each other). It returns read-only direct access to an object's user
+// data, verifying the object checksum first unless skipVerify is set
+// (the caller has already verified this object and ModEpoch shows it
+// unmodified since) or the object exceeds Options.ReadVerifyLimit
+// (whole-object verification of large array objects would make reads
+// cost O(object); they keep header + poison checks and rely on
+// scrubbing, as under the default verify policy).
+//
+// Unlike Get it NEVER mutates the pool: media faults, checksum
+// mismatches, and freeze windows fail fast — poison and corruption with
+// their typed errors, freezes with ErrReadBusy — instead of triggering
+// online recovery, so any number of GetRO calls may run concurrently
+// with each other and with Scrub/online recovery. The caller must
+// guarantee no transaction commits concurrently (internal/shard's reader
+// gate provides that exclusion) and, on any error, retry through the
+// owning goroutine's repairing path.
+func (e *Engine) GetRO(oid layout.OID, skipVerify bool) ([]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	// The commit gate's read side is shared with commit applies and
+	// excluded by freeze (recovery, scrub). Holding it for the read means
+	// a repair can never rewrite pages under us; TryRLock (rather than
+	// RLock) keeps the fast path non-blocking — a pending freeze bounces
+	// the read to the owner path instead of queueing readers behind it.
+	if !e.commitGate.TryRLock() {
+		return nil, ErrReadBusy
+	}
+	defer e.commitGate.RUnlock()
+	if e.frozen.Load() {
+		return nil, ErrReadBusy
+	}
+	hdr, err := e.readHeaderChecked(oid, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.dev.CheckPoison(oid.HeaderOff(), hdr.Size); err != nil {
+		return nil, err
+	}
+	if e.mode.Checksums() && !skipVerify && hdr.Size <= e.opts.roVerifyLimit() {
+		// Checksum the live bytes in place: the caller excludes commits
+		// and the commit gate excludes repairs, so the range is stable —
+		// no image copy needed (the repairing readImage must copy
+		// because it may retry; this path fails fast instead).
+		if got := layout.ObjChecksum(e.dev.Slice(oid.HeaderOff(), hdr.Size)); got != hdr.Csum {
+			return nil, &CorruptionError{OID: oid,
+				Reason: fmt.Sprintf("checksum %#x, stored %#x", got, hdr.Csum)}
+		}
+		e.stats.VerifiedBytes.Add(hdr.UserSize())
+		return e.dev.Slice(oid.Off, hdr.UserSize()), nil
+	}
+	e.stats.UnverifiedBytes.Add(hdr.UserSize())
+	return e.dev.Slice(oid.Off, hdr.UserSize()), nil
+}
+
 // ObjectType returns the stored type of an object.
 func (e *Engine) ObjectType(oid layout.OID) (uint32, error) {
-	hdr, err := e.readHeaderChecked(oid)
+	hdr, err := e.readHeaderChecked(oid, true)
 	if err != nil {
 		return 0, err
 	}
@@ -134,7 +207,7 @@ func (e *Engine) ObjectType(oid layout.OID) (uint32, error) {
 
 // ObjectSize returns the user-data size of an object.
 func (e *Engine) ObjectSize(oid layout.OID) (uint64, error) {
-	hdr, err := e.readHeaderChecked(oid)
+	hdr, err := e.readHeaderChecked(oid, true)
 	if err != nil {
 		return 0, err
 	}

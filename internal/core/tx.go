@@ -219,7 +219,7 @@ func (tx *Tx) Free(oid layout.OID) error {
 		delete(tx.allocSizes, oid.Off)
 		return nil
 	}
-	hdr, err := tx.e.readHeaderChecked(oid)
+	hdr, err := tx.e.readHeaderChecked(oid, true)
 	if err != nil {
 		return err
 	}
@@ -289,7 +289,7 @@ func (tx *Tx) openBuf(oid layout.OID) (*mbuf.Buf, error) {
 // openDirect is the pmemobj path: undo-snapshot the object, return its
 // in-place bytes.
 func (tx *Tx) openDirect(oid layout.OID) ([]byte, error) {
-	hdr, err := tx.e.readHeaderChecked(oid)
+	hdr, err := tx.e.readHeaderChecked(oid, true)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +341,7 @@ func (tx *Tx) AddRange(oid layout.OID, off, n uint64) ([]byte, error) {
 		}
 		return b.UserData(), nil
 	}
-	hdr, err := tx.e.readHeaderChecked(oid)
+	hdr, err := tx.e.readHeaderChecked(oid, true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,7 @@
 package shard
 
 import (
-	"fmt"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -318,8 +318,8 @@ func TestStopUnderLoadTinyQueue(t *testing.T) {
 				for i := 0; i < 50; i++ {
 					k := uint64(g)<<16 | uint64(i)
 					if err := s.Put(k, k); err != nil {
-						// Only the shutdown error is acceptable.
-						if want := fmt.Sprintf("shard 0: closed"); err.Error() != want {
+						// Only the typed shutdown error is acceptable.
+						if !errors.Is(err, ErrShuttingDown) {
 							t.Errorf("put after stop: %v", err)
 						}
 						return

@@ -3,10 +3,22 @@
 // parallel. Pangolin transactions are per-goroutine and two concurrent
 // transactions must not modify the same object (§3.4), so the package
 // gives each shard exactly one owner goroutine (a worker) that performs
-// every pool access — data operations, snapshot saves, scrubs — and routes
-// requests to workers over channels. Concurrency scales with the shard
-// count while each pool keeps the single-writer discipline the paper
-// requires.
+// every mutating pool access — transactions, snapshot saves, scrubs —
+// and routes requests to workers over channels. Write concurrency scales
+// with the shard count while each pool keeps the single-writer
+// discipline the paper requires.
+//
+// Reads do not funnel through the workers: Pangolin's design point is
+// that readers verify per-object checksums straight from NVMM and run
+// concurrently with each other (§3.3), so Get executes a verified Lookup
+// on the caller's goroutine against the pool's ReadView, gated by a
+// per-shard reader/writer gate. Readers share the gate; the worker takes
+// its write side around every pool access, so a group commit (the
+// linearization point for the shard) excludes readers only for the
+// commit itself. Readers never block on the gate: if it is unavailable —
+// commit, save, crash-image, scrub, or recovery in progress — or a read
+// hits a fault that needs online repair, the read falls back to the
+// worker queue, whose repairing path serializes with everything else.
 //
 // Persistence uses pangolin.PoolSet: one snapshot file per shard in a
 // directory. Each shard pool's root records which kv structure the shard
@@ -16,11 +28,19 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
 	"github.com/pangolin-go/pangolin/structures/kv/registry"
 )
+
+// ErrShuttingDown reports an operation rejected because the set (or its
+// shard) is shutting down. It is distinguishable with errors.Is from a
+// real lookup or transaction error, so callers can treat it as a
+// lifecycle event rather than data-path corruption.
+var ErrShuttingDown = errors.New("shard set shutting down")
 
 // rootMagic guards shard roots against foreign pools.
 const rootMagic uint64 = 0x5348415244303031 // "SHARD001"
@@ -55,6 +75,11 @@ type Options struct {
 	// fill a group — it drains what is already queued — so this bounds
 	// transaction size, not latency.
 	MaxBatch int
+	// SerialReads disables the concurrent verified-read fast path and
+	// routes every Get through the shard's worker goroutine (the
+	// pre-fast-path behavior). Mainly for A/B measurement (pglserve
+	// -serial-reads) and tests; leave false in production.
+	SerialReads bool
 }
 
 func (o *Options) structure() string {
@@ -125,7 +150,12 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: root: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen(), opts.maxBatch()))
+		rom, err := readInstance(structure, p, m.Anchor(), opts)
+		if err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
+		}
+		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, opts.queueLen(), opts.maxBatch()))
 	}
 	// Persist the freshly initialized roots and anchors.
 	if err := s.Sync(); err != nil {
@@ -172,9 +202,25 @@ func Open(dir string, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach %s: %w", i, structure.Name, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, opts.queueLen(), opts.maxBatch()))
+		rom, err := readInstance(structure, p, root.MapAnchor, opts)
+		if err != nil {
+			s.Abandon()
+			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
+		}
+		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, opts.queueLen(), opts.maxBatch()))
 	}
 	return s, nil
+}
+
+// readInstance attaches a second, read-only instance of the shard's
+// structure to the pool's ReadView — the handle the fast path runs its
+// concurrent verified Lookups against. Returns nil (fast path off) under
+// SerialReads.
+func readInstance(structure registry.Structure, p *pangolin.Pool, anchor pangolin.OID, opts Options) (kv.Map, error) {
+	if opts.SerialReads {
+		return nil, nil
+	}
+	return structure.Attach(p.ReadView(), anchor)
 }
 
 func writeRoot(p *pangolin.Pool, r shardRoot) error {
@@ -236,9 +282,20 @@ func (s *Set) Put(k, v uint64) error {
 	return r.err
 }
 
-// Get returns the value for k.
+// Get returns the value for k. Reads are served on the concurrent fast
+// path when possible: a checksum-verified Lookup runs directly against
+// the shard pool from the caller's goroutine, in parallel with other
+// readers, gated by the shard's reader/writer gate. When the worker owns
+// the gate (a group commit, save, crash image, scrub, or recovery window
+// is in progress) or the read hits a fault that needs repair, the read
+// falls back to the worker queue; Stats reports both populations
+// (fast_gets vs gets, plus fast_fallbacks/fast_faults).
 func (s *Set) Get(k uint64) (uint64, bool, error) {
-	r := s.workers[s.ShardOf(k)].do(request{op: opGet, k: k})
+	w := s.workers[s.ShardOf(k)]
+	if v, ok, err, served := w.fastGet(k); served {
+		return v, ok, err
+	}
+	r := w.do(request{op: opGet, k: k})
 	return r.v, r.ok, r.err
 }
 
@@ -268,9 +325,23 @@ func (s *Set) Batch(ops []BatchOp) []BatchResult {
 	}
 	results := make([]chan response, len(s.workers))
 	for sh, sub := range perShard {
-		if len(sub) > 0 {
-			results[sh] = s.workers[sh].send(request{op: opBatch, ops: sub})
+		if len(sub) == 0 {
+			continue
 		}
+		// All-GET slices take the read fast path: one reader-gate hold
+		// per shard slice, no worker hop. Read-only batches have no
+		// transaction even on the worker path (runGroup executes them
+		// per-op), so the semantics are identical; mixed or mutating
+		// slices go to the worker as before.
+		if allGets(sub) {
+			if res, ok := s.workers[sh].fastGetBatch(sub); ok {
+				for j, i := range perIdx[sh] {
+					out[i] = res[j]
+				}
+				continue
+			}
+		}
+		results[sh] = s.workers[sh].send(request{op: opBatch, ops: sub})
 	}
 	for sh, ch := range results {
 		if ch == nil {
@@ -290,6 +361,16 @@ func (s *Set) Batch(ops []BatchOp) []BatchResult {
 		}
 	}
 	return out
+}
+
+// allGets reports whether every op in the slice is a read.
+func allGets(ops []BatchOp) bool {
+	for _, op := range ops {
+		if op.Kind != BatchGet {
+			return false
+		}
+	}
+	return true
 }
 
 // fanOut runs op on every worker concurrently and returns the first error.
@@ -363,6 +444,10 @@ func (s *Set) Stats() Stats {
 		st.Puts += r.stats.Puts
 		st.Dels += r.stats.Dels
 		st.Hits += r.stats.Hits
+		st.FastGets += r.stats.FastGets
+		st.FastHits += r.stats.FastHits
+		st.FastFallbacks += r.stats.FastFallbacks
+		st.FastFaults += r.stats.FastFaults
 		st.Errors += r.stats.Errors
 		st.Batches += r.stats.Batches
 		st.BatchedOps += r.stats.BatchedOps
@@ -391,11 +476,24 @@ func (s *Set) Abandon() {
 
 // ShardStats carries one shard's counters.
 type ShardStats struct {
-	Index int    `json:"index"`
+	Index int `json:"index"`
+	// Gets counts reads served by the worker goroutine; FastGets counts
+	// reads served on the concurrent fast path (callers' goroutines,
+	// checksum-verified, no worker hop). Total reads = Gets + FastGets.
 	Gets  uint64 `json:"gets"`
 	Puts  uint64 `json:"puts"`
 	Dels  uint64 `json:"dels"`
 	Hits  uint64 `json:"hits"`
+	// Fast-path accounting. FastFallbacks counts reads bounced to the
+	// worker because the reader gate was unavailable (a group commit,
+	// save, crash image, scrub, or recovery window); FastFaults counts
+	// reads bounced because they hit a fault — poison or checksum
+	// mismatch — that only the worker's repairing read path may fix.
+	// Tests assert FastGets > 0 to prove the fast path engaged.
+	FastGets      uint64 `json:"fast_gets"`
+	FastHits      uint64 `json:"fast_hits"`
+	FastFallbacks uint64 `json:"fast_fallbacks"`
+	FastFaults    uint64 `json:"fast_faults"`
 	// Errors counts failed data operations.
 	Errors uint64 `json:"errors"`
 	// Batches counts group commits: transactions that carried more than
@@ -418,6 +516,10 @@ type Stats struct {
 	Puts           uint64       `json:"puts"`
 	Dels           uint64       `json:"dels"`
 	Hits           uint64       `json:"hits"`
+	FastGets       uint64       `json:"fast_gets"`
+	FastHits       uint64       `json:"fast_hits"`
+	FastFallbacks  uint64       `json:"fast_fallbacks"`
+	FastFaults     uint64       `json:"fast_faults"`
 	Errors         uint64       `json:"errors"`
 	Batches        uint64       `json:"batches"`
 	BatchedOps     uint64       `json:"batched_ops"`

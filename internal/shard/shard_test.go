@@ -107,8 +107,13 @@ func TestCreateOpenRoundTrip(t *testing.T) {
 	if st.NumShards != 3 || len(st.Shards) != 3 {
 		t.Fatalf("stats shards = %d/%d, want 3", st.NumShards, len(st.Shards))
 	}
-	if st.Gets != 300 {
-		t.Fatalf("stats gets = %d, want 300", st.Gets)
+	if st.Gets+st.FastGets != 300 {
+		t.Fatalf("stats gets = %d worker + %d fast, want 300 total", st.Gets, st.FastGets)
+	}
+	// With no writer running, an idle set must serve reads on the fast
+	// path; only fault/freeze windows may bounce reads to the worker.
+	if st.FastGets == 0 {
+		t.Fatal("fast path never engaged on an idle set")
 	}
 	if st.Objects == 0 {
 		t.Fatal("stats report zero live objects after inserts")

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pangolin-go/pangolin"
 	"github.com/pangolin-go/pangolin/structures/kv"
@@ -79,6 +80,26 @@ type worker struct {
 	m        kv.Map
 	maxBatch int
 
+	// Concurrent verified-read fast path. rom is a second instance of
+	// the shard's structure attached to the pool's ReadView; callers'
+	// goroutines run checksum-verified Lookups on it directly, holding
+	// gate's read side. The worker takes the write side around every
+	// pool access (transactions, saves, crash images, scrubs), so
+	// readers run in parallel with each other and never overlap a
+	// mutation. Readers only ever TryRLock: if the worker holds or
+	// wants the gate — a group commit, a save, a scrub or recovery
+	// window — the read falls back to the worker queue instead of
+	// blocking, which is also what keeps the fast path deadlock-free.
+	// rom is nil when Options.SerialReads disabled the fast path.
+	gate sync.RWMutex
+	rom  kv.Map
+
+	// Fast-path counters, touched from many reader goroutines.
+	fastGets      atomic.Uint64 // reads served on the fast path
+	fastHits      atomic.Uint64 // of those, key present
+	fastFallbacks atomic.Uint64 // reads bounced to the worker: gate busy / freeze
+	fastFaults    atomic.Uint64 // reads bounced to the worker: fault needing repair
+
 	// Shutdown protocol: the lock covers only the closed flag and
 	// sender registration — never a channel send — so stop() cannot
 	// wedge behind a full queue, and senders cannot wedge behind a
@@ -95,18 +116,96 @@ type worker struct {
 	scratch                             []request // loop-local drain buffer
 }
 
-func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m kv.Map, queueLen, maxBatch int) *worker {
+func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.Map, queueLen, maxBatch int) *worker {
 	w := &worker{
 		idx:      idx,
 		pools:    pools,
 		pool:     pool,
 		m:        m,
+		rom:      rom,
 		maxBatch: maxBatch,
 		reqs:     make(chan request, queueLen),
 		exited:   make(chan struct{}),
 	}
 	go w.loop()
 	return w
+}
+
+// isClosed reports whether stop() has begun.
+func (w *worker) isClosed() bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.closed
+}
+
+// fastGet attempts to serve a Get on the concurrent fast path: a
+// checksum-verified Lookup against the shard pool from the caller's
+// goroutine, under the reader gate. served=false means the caller must
+// route the request through the worker (gate contended, freeze window,
+// or a fault that needs the worker's repairing read path).
+func (w *worker) fastGet(k uint64) (v uint64, ok bool, err error, served bool) {
+	if w.rom == nil {
+		return 0, false, nil, false
+	}
+	if w.isClosed() {
+		return 0, false, fmt.Errorf("shard %d: %w", w.idx, ErrShuttingDown), true
+	}
+	if !w.gate.TryRLock() {
+		w.fastFallbacks.Add(1)
+		return 0, false, nil, false
+	}
+	v, ok, err = w.rom.Lookup(k)
+	w.gate.RUnlock()
+	if err != nil {
+		if pangolin.ReadBusy(err) {
+			w.fastFallbacks.Add(1)
+		} else {
+			w.fastFaults.Add(1)
+		}
+		return 0, false, nil, false
+	}
+	w.fastGets.Add(1)
+	if ok {
+		w.fastHits.Add(1)
+	}
+	return v, ok, nil, true
+}
+
+// fastGetBatch serves an all-GET batch slice on the fast path, taking
+// the reader gate once for the whole slice. Like the worker's own
+// handling of read-only groups, the lookups are per-op (a read-only
+// batch has no transaction and no group atomicity to preserve). Any
+// error bounces the entire slice to the worker.
+func (w *worker) fastGetBatch(ops []BatchOp) ([]BatchResult, bool) {
+	if w.rom == nil || w.isClosed() {
+		return nil, false
+	}
+	if !w.gate.TryRLock() {
+		w.fastFallbacks.Add(1)
+		return nil, false
+	}
+	res := make([]BatchResult, len(ops))
+	hits := uint64(0)
+	for i, op := range ops {
+		v, ok, err := w.rom.Lookup(op.K)
+		if err != nil {
+			w.gate.RUnlock()
+			if pangolin.ReadBusy(err) {
+				w.fastFallbacks.Add(1)
+			} else {
+				w.fastFaults.Add(1)
+			}
+			return nil, false
+		}
+		res[i] = BatchResult{V: v, OK: ok}
+		if ok {
+			hits++
+		}
+	}
+	w.gate.RUnlock()
+	w.fastGets.Add(uint64(len(ops)))
+	w.fastHits.Add(hits)
+	return res, true
 }
 
 // send enqueues req and returns its reply channel. The closed check and
@@ -119,7 +218,7 @@ func (w *worker) send(req request) chan response {
 	w.mu.RLock()
 	if w.closed {
 		w.mu.RUnlock()
-		req.reply <- response{err: fmt.Errorf("shard %d: closed", w.idx)}
+		req.reply <- response{err: fmt.Errorf("shard %d: %w", w.idx, ErrShuttingDown)}
 		return req.reply
 	}
 	w.senders.Add(1)
@@ -180,7 +279,7 @@ func (w *worker) loop() {
 			}
 		}
 		if !groupable(req.op) {
-			req.reply <- w.handle(req)
+			req.reply <- w.handleLocked(req)
 			continue
 		}
 		// Opportunistic group: drain whatever is already queued, up to
@@ -213,12 +312,24 @@ func (w *worker) loop() {
 				break drain
 			}
 		}
+		w.gate.Lock()
 		w.runGroup(group)
+		w.gate.Unlock()
 		w.scratch = group[:0]
 		if hasBarrier {
-			barrier.reply <- w.handle(barrier)
+			barrier.reply <- w.handleLocked(barrier)
 		}
 	}
+}
+
+// handleLocked runs one request with the reader gate's write side held,
+// excluding fast-path readers for the duration of the pool access. The
+// gate is taken here — around execution only, never around the queue
+// receive — so readers get the gate back between every request.
+func (w *worker) handleLocked(req request) response {
+	w.gate.Lock()
+	defer w.gate.Unlock()
+	return w.handle(req)
 }
 
 // runGroup executes a group of data requests. Groups with at least one
@@ -463,6 +574,10 @@ func (w *worker) handle(req request) response {
 			Puts:           w.puts,
 			Dels:           w.dels,
 			Hits:           w.hits,
+			FastGets:       w.fastGets.Load(),
+			FastHits:       w.fastHits.Load(),
+			FastFallbacks:  w.fastFallbacks.Load(),
+			FastFaults:     w.fastFaults.Load(),
 			Errors:         w.errs,
 			Batches:        w.batches,
 			BatchedOps:     w.batchedOps,

@@ -132,6 +132,13 @@ type Config struct {
 	// devices with prior contents, and the one-time pool-init cost the
 	// paper measures in §4.2 (fresh devices are already zero).
 	Zero bool
+	// ReadVerifyLimit bounds per-read checksum verification on the
+	// concurrent read path (ReadView): objects larger than this many
+	// bytes keep header sanity + poison checks and rely on scrubbing
+	// instead of being checksummed on every read. 0 selects the 16 KB
+	// default (covers every per-key node of the six paper structures);
+	// negative verifies regardless of size.
+	ReadVerifyLimit int
 }
 
 func (c *Config) geometry() Geometry {
@@ -141,9 +148,12 @@ func (c *Config) geometry() Geometry {
 	return c.Geometry
 }
 
-// Pool is an open Pangolin object pool.
+// Pool is an open Pangolin object pool. A Pool handle returned by
+// ReadView shares the engine but serves Get through the concurrent
+// verified-read path; see ReadView for the contract.
 type Pool struct {
-	e *core.Engine
+	e  *core.Engine
+	rv *readViewState // non-nil only on ReadView handles
 }
 
 // Create builds a new pool on a fresh simulated NVMM device.
@@ -168,6 +178,7 @@ func CreateOnDevice(dev *Device, cfg Config) (*Pool, error) {
 		Policy:          cfg.Policy,
 		ScrubEvery:      cfg.ScrubEvery,
 		ParityThreshold: cfg.ParityThreshold,
+		ReadVerifyLimit: cfg.ReadVerifyLimit,
 		Zero:            cfg.Zero,
 	})
 	if err != nil {
@@ -185,6 +196,7 @@ func OpenDevice(dev *Device, cfg Config, replica *Device) (*Pool, error) {
 		Policy:          cfg.Policy,
 		ScrubEvery:      cfg.ScrubEvery,
 		ParityThreshold: cfg.ParityThreshold,
+		ReadVerifyLimit: cfg.ReadVerifyLimit,
 	}, replica)
 	if err != nil {
 		return nil, err
@@ -244,7 +256,15 @@ func (p *Pool) Run(fn func(*Tx) error) error {
 
 // Get returns read-only access to an object's user data without
 // micro-buffering (pgl_get). See VerifyPolicy for the checking rules.
-func (p *Pool) Get(oid OID) ([]byte, error) { return p.e.Get(oid) }
+// On a ReadView handle, Get instead runs the concurrent verified-read
+// path: checksum verification cached per commit epoch, no online
+// recovery, ErrReadBusy during freeze windows.
+func (p *Pool) Get(oid OID) ([]byte, error) {
+	if p.rv != nil {
+		return p.rv.getRO(p.e, oid)
+	}
+	return p.e.Get(oid)
+}
 
 // ObjectSize returns an object's user-data size.
 func (p *Pool) ObjectSize(oid OID) (uint64, error) { return p.e.ObjectSize(oid) }

@@ -1,57 +1,83 @@
 #!/usr/bin/env bash
 # loadtest.sh — the serve → load → crash → check acceptance loop.
 #
-# Boots pglserve with $SHARDS shards, then drives it in four phases
-# against the SAME server run:
+# Boots pglserve with $SHARDS shards and drives it through six phases
+# (restarting the server — same data directory, clean sync + reopen —
+# where a server-side switch changes):
 #
-#   0. warmup:           $OPS unmeasured ops populate the store, so the two
-#                        measured phases both run against a store of
-#                        comparable size (an empty-store first phase would
-#                        flatter whichever mode runs first)
-#   1. per-op baseline:  $CLIENTS closed-loop clients, $OPS single-op frames
-#   2. batch:            the same load sent as MGET/MPUT/MDEL of $BATCH ops,
-#                        exercising the shard workers' group commit
-#   3. crash mid-batch:  a background batch load is still running when the
-#                        CRASH frame lands, so shards die with batch
-#                        transactions in flight; every shard snapshot must
-#                        then pass `pglpool check`
+#   0. warmup:            $OPS unmeasured ops populate the store, so the
+#                         measured phases all run against a store of
+#                         comparable size
+#   1. per-op baseline:   $CLIENTS closed-loop clients, $OPS single-op frames
+#   2. batch:             the same load sent as MGET/MPUT/MDEL of $BATCH ops,
+#                         exercising the shard workers' group commit
+#   3. read-heavy serial: 90% GET mix against a server restarted with
+#                         -serial-reads (every read takes the worker hop) —
+#                         the baseline for the read fast path
+#   4. read-heavy fast:   the same mix against a normally-started server;
+#                         GETs run checksum-verified on the connection
+#                         handlers' goroutines behind the per-shard reader
+#                         gate. The report's server_stats must show
+#                         fast_gets > 0 (the fast path actually engaged).
+#   5. crash mid-batch:   a background batch load is still running when the
+#                         CRASH frame lands, so shards die with batch
+#                         transactions in flight; every shard snapshot must
+#                         then pass `pglpool check`
 #
-# The per-op and batch reports land in $WORKDIR/load-perop.json and
-# $WORKDIR/load-batch.json; $WORKDIR/compare.json holds both ops/sec
-# figures and the batch speedup (CI uploads all three). Set MIN_SPEEDUP to
-# fail the run when batch/per-op falls below a bound (default 1.0 — batch
-# mode must never be slower; the ISSUE-2 acceptance target is 2.0, which
-# holds comfortably on dedicated hardware but is not gated in shared CI).
+# compare.json records per-op vs batch ops/sec (speedup) and serial vs
+# fast read ops/sec (read_speedup); CI uploads it with the phase reports.
+# MIN_SPEEDUP / MIN_READ_SPEEDUP fail the run when a ratio falls below
+# the bound (default 1.0 — the optimized path must never be slower; the
+# ISSUE-3 acceptance target for reads is 2.0, which holds on dedicated
+# hardware but is not gated in shared CI).
 set -euo pipefail
 
 SHARDS=${SHARDS:-4}
 CLIENTS=${CLIENTS:-32}
 OPS=${OPS:-100000}
 BATCH=${BATCH:-16}
+READ_FRAC=${READ_FRAC:-0.9}
+READ_CLIENTS=${READ_CLIENTS:-$CLIENTS}
 MIN_SPEEDUP=${MIN_SPEEDUP:-1.0}
+MIN_READ_SPEEDUP=${MIN_READ_SPEEDUP:-1.0}
 WORKDIR=${WORKDIR:-$(mktemp -d /tmp/pgl-loadtest.XXXXXX)}
 
 cd "$(dirname "$0")/.."
 mkdir -p bin
 go build -o bin ./cmd/...
 
-echo "# loadtest: $SHARDS shards, $CLIENTS clients, $OPS ops, batch $BATCH (workdir $WORKDIR)" >&2
-./bin/pglserve -dir "$WORKDIR/kvset" -shards "$SHARDS" -addr 127.0.0.1:0 \
-    >"$WORKDIR/serve.json" 2>"$WORKDIR/serve.log" &
-SERVE_PID=$!
-trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+echo "# loadtest: $SHARDS shards, $CLIENTS clients, $OPS ops, batch $BATCH, reads $READ_FRAC (workdir $WORKDIR)" >&2
 
-# Wait for the startup line and extract the bound address.
-for _ in $(seq 100); do
-    [ -s "$WORKDIR/serve.json" ] && break
-    sleep 0.1
-done
-ADDR=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$WORKDIR/serve.json")
-if [ -z "$ADDR" ]; then
-    echo "loadtest: server did not start:" >&2
-    cat "$WORKDIR/serve.log" >&2
-    exit 1
-fi
+SERVE_PID=""
+ADDR=""
+
+start_server() { # start_server <logname> [extra pglserve flags...]
+    local name=$1; shift
+    : >"$WORKDIR/$name.json"
+    ./bin/pglserve -dir "$WORKDIR/kvset" -shards "$SHARDS" -addr 127.0.0.1:0 "$@" \
+        >"$WORKDIR/$name.json" 2>"$WORKDIR/$name.log" &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        [ -s "$WORKDIR/$name.json" ] && break
+        sleep 0.1
+    done
+    ADDR=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$WORKDIR/$name.json")
+    if [ -z "$ADDR" ]; then
+        echo "loadtest: server did not start ($name):" >&2
+        cat "$WORKDIR/$name.log" >&2
+        exit 1
+    fi
+}
+
+stop_server() { # clean shutdown: sync every shard, then reopen next time
+    kill -TERM "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+}
+
+trap '[ -n "$SERVE_PID" ] && kill $SERVE_PID 2>/dev/null || true' EXIT
+
+start_server serve
 
 echo "# phase 0: warmup (unmeasured)" >&2
 ./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops "$OPS" -seed 9 -batch "$BATCH" \
@@ -65,7 +91,21 @@ echo "# phase 2: batch $BATCH" >&2
 ./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops "$OPS" -seed 2 -batch "$BATCH" \
     | tee "$WORKDIR/load-batch.json"
 
-echo "# phase 3: crash while a batch load is in flight" >&2
+echo "# phase 3: read-heavy ($READ_FRAC GET), worker-serialized reads" >&2
+stop_server
+start_server serve-serial -serial-reads
+./bin/pglload -addr "$ADDR" -clients "$READ_CLIENTS" -ops "$OPS" -seed 5 \
+    -reads "$READ_FRAC" -dels 0.02 \
+    | tee "$WORKDIR/load-read-serial.json"
+
+echo "# phase 4: read-heavy ($READ_FRAC GET), concurrent fast path" >&2
+stop_server
+start_server serve-fast
+./bin/pglload -addr "$ADDR" -clients "$READ_CLIENTS" -ops "$OPS" -seed 5 \
+    -reads "$READ_FRAC" -dels 0.02 \
+    | tee "$WORKDIR/load-read-fast.json"
+
+echo "# phase 5: crash while a batch load is in flight" >&2
 # The background load runs until the server dies under it; its client
 # errors are expected (the crash kills their connections mid-frame).
 ./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops 10000000 -seed 3 -batch "$BATCH" \
@@ -78,6 +118,7 @@ wait "$BG_PID" 2>/dev/null || true
 
 # The crash request kills the server; wait for it to die.
 wait "$SERVE_PID" || true
+SERVE_PID=""
 trap - EXIT
 
 status=0
@@ -90,8 +131,8 @@ for f in "$WORKDIR"/kvset/shard-*.pgl; do
     fi
 done
 
-# Both measured phases must be error-free.
-for phase in perop batch; do
+# Every measured phase must be error-free.
+for phase in perop batch read-serial read-fast; do
     errors=$(sed -n 's/.*"errors": \([0-9]*\),.*/\1/p' "$WORKDIR/load-$phase.json" | head -n 1)
     if [ "${errors:-1}" != "0" ]; then
         echo "loadtest: FAILED with $errors client errors in $phase phase" >&2
@@ -99,15 +140,36 @@ for phase in perop batch; do
     fi
 done
 
-# Record the per-op vs batch trajectory.
+# The fast phase must actually have used the fast path, and the serial
+# phase must not have.
+FAST_GETS=$(sed -n 's/.*"fast_gets": \([0-9]*\),.*/\1/p' "$WORKDIR/load-read-fast.json" | head -n 1)
+SERIAL_FAST_GETS=$(sed -n 's/.*"fast_gets": \([0-9]*\),.*/\1/p' "$WORKDIR/load-read-serial.json" | head -n 1)
+if [ "${FAST_GETS:-0}" = "0" ]; then
+    echo "loadtest: FAILED read fast path never engaged (fast_gets=0)" >&2
+    status=1
+fi
+if [ "${SERIAL_FAST_GETS:-0}" != "0" ]; then
+    echo "loadtest: FAILED -serial-reads server served fast reads (fast_gets=$SERIAL_FAST_GETS)" >&2
+    status=1
+fi
+
+# Record the per-op vs batch and serial vs fast read trajectories.
 PEROP=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-perop.json" | head -n 1)
 BATCHOPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-batch.json" | head -n 1)
-awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEEDUP" 'BEGIN {
+READSERIAL=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-read-serial.json" | head -n 1)
+READFAST=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-read-fast.json" | head -n 1)
+awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEEDUP" \
+    -v rs="${READSERIAL:-0}" -v rf="${READFAST:-0}" -v rfrac="$READ_FRAC" -v rmin="$MIN_READ_SPEEDUP" \
+    -v fg="${FAST_GETS:-0}" 'BEGIN {
     s = (p > 0) ? b / p : 0
-    printf "{\n  \"per_op_ops_per_sec\": %.1f,\n  \"batch_ops_per_sec\": %.1f,\n  \"batch\": %d,\n  \"speedup\": %.2f,\n  \"min_speedup\": %.2f\n}\n", p, b, batch, s, min
-    exit !(s >= min)
+    r = (rs > 0) ? rf / rs : 0
+    printf "{\n"
+    printf "  \"per_op_ops_per_sec\": %.1f,\n  \"batch_ops_per_sec\": %.1f,\n  \"batch\": %d,\n  \"speedup\": %.2f,\n  \"min_speedup\": %.2f,\n", p, b, batch, s, min
+    printf "  \"read_serial_ops_per_sec\": %.1f,\n  \"read_fast_ops_per_sec\": %.1f,\n  \"read_fraction\": %s,\n  \"fast_gets\": %d,\n  \"read_speedup\": %.2f,\n  \"min_read_speedup\": %.2f\n", rs, rf, rfrac, fg, r, rmin
+    printf "}\n"
+    exit !(s >= min && r >= rmin)
 }' | tee "$WORKDIR/compare.json" || {
-    echo "loadtest: FAILED batch speedup below MIN_SPEEDUP=$MIN_SPEEDUP" >&2
+    echo "loadtest: FAILED speedup below bound (batch >= $MIN_SPEEDUP, read >= $MIN_READ_SPEEDUP)" >&2
     status=1
 }
 

@@ -38,6 +38,35 @@
 // STATS reports the achieved grouping per shard (batches, batched_ops,
 // group_fallbacks).
 //
+// # Concurrent verified reads
+//
+// GET does not take the worker hop at all when it can avoid it.
+// Pangolin's design point is that readers verify per-object checksums
+// straight from NVMM and run concurrently — only updates need the
+// transaction machinery (§3.3) — so each shard keeps a second instance
+// of its structure attached to the pool's read view, and a GET executes
+// a checksum-verified Lookup on the connection handler's own goroutine.
+// A per-shard reader/writer gate coordinates the two populations:
+// readers share the gate and run in parallel; the worker takes the
+// write side around every pool access, so the group commit — still the
+// shard's linearization point — excludes readers only while it runs.
+// Verification is cached per object against the engine's modification
+// clock (an object is re-verified only after a commit actually wrote
+// it) and capped by size (very large array objects keep header + poison
+// checks and rely on scrubbing, as under the default verify policy).
+//
+// Readers never block on the gate. If it is unavailable — a commit,
+// save, crash image, scrub, or recovery window — or the read hits a
+// fault that needs online repair, the GET falls back to the worker
+// queue, whose repairing read path serializes with everything else.
+// An MGET whose slice for a shard is all reads takes the same fast path
+// with one gate hold for the slice. STATS separates the populations:
+// fast_gets/fast_hits count fast-path reads, gets counts worker reads,
+// and fast_fallbacks/fast_faults count bounced reads by cause, so a
+// load run can prove the fast path actually engaged (pglserve
+// -serial-reads disables it entirely for A/B runs; scripts/loadtest.sh
+// measures both and emits the ratio in compare.json).
+//
 // Clients feed that window two ways: many connections (concurrent
 // single-op requests against one shard group together), or the batch ops
 // MGET/MPUT/MDEL, which carry many operations in one frame. A batch

@@ -150,7 +150,7 @@ func TestServerBasicOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.NumShards != 2 || st.Puts != 1 || st.Gets != 2 || st.Dels != 2 {
+	if st.NumShards != 2 || st.Puts != 1 || st.Gets+st.FastGets != 2 || st.Dels != 2 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -195,8 +195,11 @@ func TestServerBatchOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Puts != 8 || st.Gets != 5 || st.Dels != 3 {
+	if st.Puts != 8 || st.Gets+st.FastGets != 5 || st.Dels != 3 {
 		t.Fatalf("stats after batches = %+v", st)
+	}
+	if st.FastGets == 0 {
+		t.Fatalf("GET/MGET never took the read fast path: %+v", st)
 	}
 	if st.Batches == 0 || st.BatchedOps < 8 {
 		t.Fatalf("no group commits recorded: %+v", st)

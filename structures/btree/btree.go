@@ -88,7 +88,10 @@ func (t *Tree) Len() (uint64, error) {
 	return a.Count, nil
 }
 
-// Lookup finds k with direct reads.
+// Lookup finds k with direct reads. It is a pure read (no pool writes,
+// no handle state), honoring the kv.Map concurrent-read contract: on a
+// ReadView instance it may run concurrently with other Lookups, gated
+// against commits by the caller.
 func (t *Tree) Lookup(k uint64) (uint64, bool, error) {
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {

@@ -78,7 +78,10 @@ func msbDiff(a, b uint64) uint32 {
 	return i
 }
 
-// Lookup finds k without micro-buffering (direct reads).
+// Lookup finds k without micro-buffering (direct reads). It is a pure
+// read (no pool writes, no handle state), honoring the kv.Map
+// concurrent-read contract: on a ReadView instance it may run
+// concurrently with other Lookups, gated against commits by the caller.
 func (t *Tree) Lookup(k uint64) (uint64, bool, error) {
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {

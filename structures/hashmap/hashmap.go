@@ -129,7 +129,10 @@ func putBucketOID(table []byte, i uint64, oid pangolin.OID) {
 	binary.LittleEndian.PutUint64(table[off+8:], oid.Off)
 }
 
-// Lookup finds k with direct reads.
+// Lookup finds k with direct reads. It is a pure read (no pool writes,
+// no handle state), honoring the kv.Map concurrent-read contract: on a
+// ReadView instance it may run concurrently with other Lookups, gated
+// against commits by the caller.
 func (m *Map) Lookup(k uint64) (uint64, bool, error) {
 	a, err := pangolin.GetFromPool[anchor](m.p, m.anchor)
 	if err != nil {

@@ -9,7 +9,8 @@ import "github.com/pangolin-go/pangolin"
 
 // Map is a persistent uint64 → uint64 key-value store. Implementations
 // are safe for use from one goroutine at a time (transactions are
-// per-goroutine; see §3.4).
+// per-goroutine; see §3.4), with one carve-out: the concurrent-read
+// contract below.
 //
 // The Tx variants run inside a caller-owned transaction, so a caller can
 // group many operations into one commit — one log persist, one fence,
@@ -18,11 +19,31 @@ import "github.com/pangolin-go/pangolin"
 // (LookupTx reads the transaction's micro-buffers); nothing is durable
 // until the caller commits, and an abort discards every grouped
 // operation together.
+//
+// # Concurrent-read contract
+//
+// Every implementation's Lookup must be a pure read: no writes to the
+// pool, no mutation of the Map handle's own state. That makes a second
+// instance of the structure, attached to the pool's ReadView
+// (pangolin.Pool.ReadView), safe for concurrent Lookups from any number
+// of goroutines, provided the caller excludes transaction commits for
+// the duration of each Lookup (internal/shard's per-shard reader gate is
+// the canonical provider; a plain RWMutex — readers R-side around each
+// Lookup, writers W-side around each transaction — satisfies it too).
+// Under that discipline a concurrent Lookup observes either the
+// pre-image or the post-image of any in-flight transaction, never a torn
+// value: object bytes change only inside commits, and commits are
+// excluded. On a ReadView, faults surface as errors (including
+// pangolin.ErrReadBusy during freeze windows) instead of triggering
+// online recovery; the caller retries via the owner goroutine.
+// structures/kvtest's RunConcurrent suite enforces this contract for
+// every registered structure.
 type Map interface {
 	// Insert adds or updates a key in one transaction.
 	Insert(k, v uint64) error
 	// Lookup returns the value for k. Lookups read NVMM directly
-	// without micro-buffering (pgl_get).
+	// without micro-buffering (pgl_get) and follow the concurrent-read
+	// contract above.
 	Lookup(k uint64) (uint64, bool, error)
 	// Remove deletes k, reporting whether it was present.
 	Remove(k uint64) (bool, error)

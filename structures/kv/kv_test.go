@@ -39,6 +39,43 @@ func TestRegistryStructuresBatchContract(t *testing.T) {
 	}
 }
 
+// TestRegistryStructuresCrashSweep sweeps crash points across
+// Insert/Update/Remove/batch-commit for every registered structure:
+// crash at each persistence point, reopen a random-eviction crash image,
+// and require exactly the pre- or post-image plus a clean scrub. All six
+// structures run even in -short mode (the sweep is sampled with a
+// stride there; nightly visits every point).
+func TestRegistryStructuresCrashSweep(t *testing.T) {
+	for _, name := range registry.Names() {
+		s, err := registry.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			kvtest.RunCrashSweep(t, harnessFor(s))
+		})
+	}
+}
+
+// TestRegistryStructuresConcurrentReads enforces the concurrent-read
+// contract for every registered structure: gated readers on a ReadView
+// instance observe pre- or post-images of in-flight transactions, never
+// torn values or regressed generations, and view faults surface as
+// errors instead of triggering repair. Most valuable under -race.
+func TestRegistryStructuresConcurrentReads(t *testing.T) {
+	for _, name := range registry.Names() {
+		s, err := registry.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			kvtest.RunConcurrent(t, harnessFor(s))
+		})
+	}
+}
+
 // TestRegistryStructuresBasicContract runs the core conformance suite
 // through the registry's constructors, the exact path services use.
 func TestRegistryStructuresBasicContract(t *testing.T) {

@@ -1,0 +1,246 @@
+package kvtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/structures/kv"
+)
+
+// RunConcurrent enforces the kv.Map concurrent-read contract for one
+// structure: a second instance attached to the pool's ReadView serves
+// Lookups from many goroutines at once, gated against commits by a
+// reader/writer lock (the discipline internal/shard's reader gate
+// provides in production). Readers must observe either the pre-image or
+// the post-image of any in-flight transaction — never a torn value, a
+// stale generation after a newer one, or a checksum failure — and
+// faults on the view must surface as errors instead of mutating the
+// pool. Run under -race this also proves Lookup touches no unsynchron-
+// ized handle or pool state.
+func RunConcurrent(t *testing.T, h Harness) {
+	t.Run("PrePostImage", func(t *testing.T) { testConcurrentPrePost(t, h) })
+	t.Run("RemoveInsertChurn", func(t *testing.T) { testConcurrentChurn(t, h) })
+	t.Run("ViewFaultNotRepaired", func(t *testing.T) { testViewFault(t, h) })
+}
+
+// concVal encodes a generation and key into one value so a torn or
+// half-applied update is detectable from a single read.
+func concVal(gen, k uint64) uint64 { return gen<<32 | k }
+
+func concSizes() (keys uint64, gens uint64, readers int) {
+	if testing.Short() {
+		return 24, 8, 4
+	}
+	return 32, 24, 6
+}
+
+// makeWithView builds the structure, prefills generation 0, and
+// attaches the read-view instance.
+func makeWithView(t *testing.T, h Harness, keys uint64) (p *pangolin.Pool, m, rom kv.Map) {
+	t.Helper()
+	p = newPool(t, pangolin.ModePangolinMLPC)
+	m, err := h.Make(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(func(tx *pangolin.Tx) error {
+		for k := uint64(0); k < keys; k++ {
+			if err := m.InsertTx(tx, k, concVal(0, k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rom, err = h.Attach(p.ReadView(), m.Anchor())
+	if err != nil {
+		t.Fatalf("attach read view: %v", err)
+	}
+	return p, m, rom
+}
+
+// testConcurrentPrePost: a writer commits whole-generation updates (one
+// transaction rewrites every key) while gated readers storm Lookups.
+// Every read must decode to a valid (gen, key) pair with gen no newer
+// than the last committed generation and — per reader, per key —
+// monotonically non-decreasing: commits are the only state changes and
+// the gate excludes them during a Lookup, so going backwards or tearing
+// would mean the read path leaked an intermediate state.
+func testConcurrentPrePost(t *testing.T, h Harness) {
+	keys, gens, readers := concSizes()
+	p, m, rom := makeWithView(t, h, keys)
+
+	var gate sync.RWMutex
+	committedGen := uint64(0) // written under gate.Lock, read under gate.RLock
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 100))
+			lastGen := make(map[uint64]uint64, keys)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Uint64() % keys
+				gate.RLock()
+				v, ok, err := rom.Lookup(k)
+				// Sample the committed bound before releasing the gate:
+				// no commit can have interleaved since the read.
+				bound := committedGen
+				gate.RUnlock()
+				switch {
+				case err != nil:
+					errs <- err
+					return
+				case !ok:
+					errs <- errReadf("reader %d: key %d vanished", r, k)
+					return
+				case v&0xFFFFFFFF != k:
+					errs <- errReadf("reader %d: key %d torn value %#x", r, k, v)
+					return
+				case v>>32 > bound:
+					errs <- errReadf("reader %d: key %d gen %d beyond committed %d", r, k, v>>32, bound)
+					return
+				case v>>32 < lastGen[k]:
+					errs <- errReadf("reader %d: key %d went backwards: gen %d after %d", r, k, v>>32, lastGen[k])
+					return
+				}
+				lastGen[k] = v >> 32
+			}
+		}(r)
+	}
+
+	for gen := uint64(1); gen <= gens; gen++ {
+		gate.Lock()
+		err := p.Run(func(tx *pangolin.Tx) error {
+			for k := uint64(0); k < keys; k++ {
+				if err := m.InsertTx(tx, k, concVal(gen, k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			committedGen = gen
+		}
+		gate.Unlock()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("gen %d commit: %v", gen, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// testConcurrentChurn removes and reinserts keys transactionally while
+// gated readers run: a read must see the key absent or present with a
+// valid generation, never torn, and generations per key never regress.
+func testConcurrentChurn(t *testing.T, h Harness) {
+	keys, gens, readers := concSizes()
+	_, m, rom := makeWithView(t, h, keys)
+
+	var gate sync.RWMutex
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 500))
+			lastGen := make(map[uint64]uint64, keys)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Uint64() % keys
+				gate.RLock()
+				v, ok, err := rom.Lookup(k)
+				gate.RUnlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					continue // mid-churn absence is a legal post-image
+				}
+				if v&0xFFFFFFFF != k {
+					errs <- errReadf("reader %d: key %d torn value %#x", r, k, v)
+					return
+				}
+				if g := v >> 32; g < lastGen[k] {
+					errs <- errReadf("reader %d: key %d regressed to gen %d after %d", r, k, g, lastGen[k])
+					return
+				} else {
+					lastGen[k] = g
+				}
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for gen := uint64(1); gen <= gens; gen++ {
+		k := rng.Uint64() % keys
+		// Remove and reinsert in separate transactions so readers can
+		// observe the absence window.
+		gate.Lock()
+		_, err := m.Remove(k)
+		gate.Unlock()
+		if err == nil {
+			gate.Lock()
+			err = m.Insert(k, concVal(gen, k))
+			gate.Unlock()
+		}
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("churn gen %d key %d: %v", gen, k, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// testViewFault injects a media error under the structure and verifies
+// the division of labor: the read view surfaces the fault as an error
+// without touching the pool (no online recovery from a reader), the
+// owner instance then repairs it, and the view works again.
+func testViewFault(t *testing.T, h Harness) {
+	p, m, rom := makeWithView(t, h, 16)
+	p.InjectMediaError(m.Anchor().Off)
+	if _, _, err := rom.Lookup(3); err == nil {
+		t.Fatal("read view repaired (or ignored) a poisoned page; it must surface the fault")
+	}
+	// The owner path runs online recovery…
+	if v, ok, err := m.Lookup(3); err != nil || !ok || v != concVal(0, 3) {
+		t.Fatalf("owner lookup after poison = (%d,%v,%v)", v, ok, err)
+	}
+	// …after which the view reads clean again.
+	if v, ok, err := rom.Lookup(3); err != nil || !ok || v != concVal(0, 3) {
+		t.Fatalf("view lookup after repair = (%d,%v,%v)", v, ok, err)
+	}
+}
+
+func errReadf(format string, args ...any) error { return fmt.Errorf(format, args...) }

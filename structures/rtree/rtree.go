@@ -105,7 +105,10 @@ func openSlot(tx *pangolin.Tx, oid pangolin.OID, b byte) (*node, error) {
 // depth is the trie depth: 8 key bytes, values at the last level's leaf.
 const depth = 8
 
-// Lookup finds k with direct reads.
+// Lookup finds k with direct reads. It is a pure read (no pool writes,
+// no handle state), honoring the kv.Map concurrent-read contract: on a
+// ReadView instance it may run concurrently with other Lookups, gated
+// against commits by the caller.
 func (t *Tree) Lookup(k uint64) (uint64, bool, error) {
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {

@@ -92,7 +92,10 @@ func (l *List) randLevel() uint64 {
 	return lv
 }
 
-// Lookup finds k with direct reads.
+// Lookup finds k with direct reads. It is a pure read (no pool writes,
+// no handle state), honoring the kv.Map concurrent-read contract: on a
+// ReadView instance it may run concurrently with other Lookups, gated
+// against commits by the caller.
 func (l *List) Lookup(k uint64) (uint64, bool, error) {
 	a, err := pangolin.GetFromPool[anchor](l.p, l.anchor)
 	if err != nil {
