@@ -7,13 +7,19 @@
 //	pglserve -dir /tmp/kvset -shards 4 &
 //	pglload -addr 127.0.0.1:7499 -clients 32 -ops 100000
 //
-// The workload is keys uniform in [0, -keys), with a put/get/del mix set
-// by -reads and -dels (the remainder is puts): -reads 0.9 -dels 0.02 is
-// the read-heavy mix scripts/loadtest.sh uses to measure the concurrent
-// read fast path against the worker-serialized baseline (pglserve
-// -serial-reads). The server_stats block in the report carries
-// fast_gets/fast_fallbacks, so a run can assert which read path served
-// it. With -batch N each client
+// The workload is keys uniform in [0, -keys), with a scan/put/get/del
+// mix set by -scans, -reads and -dels (the remainder is puts): -reads
+// 0.9 -dels 0.02 is the read-heavy mix scripts/loadtest.sh uses to
+// measure the concurrent read fast path against the worker-serialized
+// baseline (pglserve -serial-reads), and -reads 0.8 -scans 0.1 is its
+// scan phase. A scan op issues one SCAN frame of up to -scan-limit
+// pairs from a uniform lo bound and verifies the response client-side —
+// ascending, duplicate-free, bound-respecting — counting any violation
+// as an error; the report carries scan_pairs and scan_ops_per_sec, and
+// server_stats carries fast_scans so a run can assert the scan fast
+// path engaged (-scans requires -batch 1). The server_stats block also
+// carries fast_gets/fast_fallbacks, so a run can assert which read path
+// served it. With -batch N each client
 // sends MGET/MPUT/MDEL frames of N operations instead of single-op
 // frames, exercising the server's group-commit path; reported ops and
 // ops/sec still count individual operations, while the latency
@@ -47,17 +53,22 @@ type latencyMS struct {
 }
 
 type report struct {
-	Addr       string            `json:"addr"`
-	Clients    int               `json:"clients"`
-	Batch      int               `json:"batch"`
-	Ops        uint64            `json:"ops"`
-	Errors     uint64            `json:"errors"`
-	ElapsedSec float64           `json:"elapsed_sec"`
-	OpsPerSec  float64           `json:"ops_per_sec"`
-	Latency    latencyMS         `json:"latency_ms"`
-	Mix        map[string]uint64 `json:"mix"`
-	Server     *server.Stats     `json:"server_stats,omitempty"`
-	CrashSent  bool              `json:"crash_sent"`
+	Addr       string  `json:"addr"`
+	Clients    int     `json:"clients"`
+	Batch      int     `json:"batch"`
+	Ops        uint64  `json:"ops"`
+	Errors     uint64  `json:"errors"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Scan accounting: ScanPairs is the pairs all SCAN responses
+	// carried; ScanOpsPerSec is the SCAN round-trip rate (0 when the
+	// mix has no scans).
+	ScanPairs     uint64            `json:"scan_pairs"`
+	ScanOpsPerSec float64           `json:"scan_ops_per_sec"`
+	Latency       latencyMS         `json:"latency_ms"`
+	Mix           map[string]uint64 `json:"mix"`
+	Server        *server.Stats     `json:"server_stats,omitempty"`
+	CrashSent     bool              `json:"crash_sent"`
 }
 
 func main() {
@@ -67,24 +78,34 @@ func main() {
 	keys := flag.Uint64("keys", 1<<16, "key space size")
 	reads := flag.Float64("reads", 0.5, "fraction of GETs")
 	dels := flag.Float64("dels", 0.1, "fraction of DELs")
+	scans := flag.Float64("scans", 0, "fraction of SCANs (each one SCAN frame; requires -batch 1)")
+	scanLimit := flag.Int("scan-limit", 64, "pairs requested per SCAN frame")
 	seed := flag.Int64("seed", 1, "workload seed")
 	batch := flag.Int("batch", 1, "operations per client frame (1 = single-op GET/PUT/DEL, >1 = MGET/MPUT/MDEL)")
 	crashAfter := flag.Bool("crash-after", false, "send CRASH when done (server dies with crash images)")
 	flag.Parse()
-	if *reads+*dels > 1 {
-		log.Fatal("pglload: -reads + -dels exceed 1")
+	if *reads+*dels+*scans > 1 {
+		log.Fatal("pglload: -reads + -dels + -scans exceed 1")
 	}
 	if *batch < 1 || *batch > server.MaxBatchOps {
 		log.Fatalf("pglload: -batch must be in [1, %d]", server.MaxBatchOps)
 	}
+	if *scans > 0 && *batch != 1 {
+		log.Fatal("pglload: -scans requires -batch 1 (a scan is its own frame)")
+	}
+	if *scanLimit < 1 || *scanLimit > server.MaxScanPairs {
+		log.Fatalf("pglload: -scan-limit must be in [1, %d]", server.MaxScanPairs)
+	}
 
 	var (
-		opCount  atomic.Uint64 // ops claimed
-		opsDone  atomic.Uint64 // ops completed
-		errCount atomic.Uint64
-		gets     atomic.Uint64
-		puts     atomic.Uint64
-		delOps   atomic.Uint64
+		opCount   atomic.Uint64 // ops claimed
+		opsDone   atomic.Uint64 // ops completed
+		errCount  atomic.Uint64
+		gets      atomic.Uint64
+		puts      atomic.Uint64
+		delOps    atomic.Uint64
+		scanOps   atomic.Uint64
+		scanPairs atomic.Uint64
 	)
 	latencies := make([][]time.Duration, *clients)
 	var wg sync.WaitGroup
@@ -130,14 +151,35 @@ func main() {
 				t0 := time.Now()
 				var err error
 				switch {
-				case dice < *reads:
+				case dice < *scans:
+					// One SCAN frame from a uniform lo, verified
+					// client-side: pairs must ascend, respect the bounds,
+					// and fit the limit — the wire-level proof of the
+					// ordered-scan contract under live writers.
+					scanOps.Add(uint64(count))
+					lo := kbuf[0]
+					var ps []server.Pair
+					ps, _, _, err = c.Scan(lo, ^uint64(0), *scanLimit, 0)
+					if err == nil {
+						if len(ps) > *scanLimit {
+							err = fmt.Errorf("scan returned %d pairs, limit %d", len(ps), *scanLimit)
+						}
+						for i, pr := range ps {
+							if pr.K < lo || (i > 0 && pr.K <= ps[i-1].K) {
+								err = fmt.Errorf("scan order/bounds violation at pair %d (key %d, lo %d)", i, pr.K, lo)
+								break
+							}
+						}
+						scanPairs.Add(uint64(len(ps)))
+					}
+				case dice < *scans+*reads:
 					gets.Add(uint64(count))
 					if count == 1 {
 						_, _, err = c.Get(kbuf[0])
 					} else {
 						_, _, err = c.MGet(kbuf)
 					}
-				case dice < *reads+*dels:
+				case dice < *scans+*reads+*dels:
 					delOps.Add(uint64(count))
 					if count == 1 {
 						_, err = c.Del(kbuf[0])
@@ -186,18 +228,20 @@ func main() {
 	}
 
 	rep := report{
-		Addr:       *addr,
-		Clients:    *clients,
-		Batch:      *batch,
-		Ops:        opsDone.Load(),
-		Errors:     errCount.Load(),
-		ElapsedSec: elapsed.Seconds(),
-		OpsPerSec:  float64(opsDone.Load()) / elapsed.Seconds(),
+		Addr:          *addr,
+		Clients:       *clients,
+		Batch:         *batch,
+		Ops:           opsDone.Load(),
+		Errors:        errCount.Load(),
+		ElapsedSec:    elapsed.Seconds(),
+		OpsPerSec:     float64(opsDone.Load()) / elapsed.Seconds(),
+		ScanPairs:     scanPairs.Load(),
+		ScanOpsPerSec: float64(scanOps.Load()) / elapsed.Seconds(),
 		Latency: latencyMS{
 			P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), P999: pct(0.999),
 			Max: pct(1),
 		},
-		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load()},
+		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load(), "scan": scanOps.Load()},
 	}
 
 	// Fetch server-side stats, and optionally send the simulated crash.

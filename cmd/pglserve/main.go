@@ -38,22 +38,13 @@ import (
 	"github.com/pangolin-go/pangolin/structures/kv/registry"
 )
 
-// modeNames deliberately omits the unprotected "pmemobj" baseline: the
-// shard layer maps its (zero) mode value to full protection, so offering
-// the name would silently serve a different mode than requested.
-var modeNames = map[string]pangolin.Mode{
-	"pangolin":      pangolin.ModePangolin,
-	"pangolin-ml":   pangolin.ModePangolinML,
-	"pangolin-mlp":  pangolin.ModePangolinMLP,
-	"pangolin-mlpc": pangolin.ModePangolinMLPC,
-}
-
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7499", "listen address (port 0 picks a free port)")
 	dir := flag.String("dir", "", "shard snapshot directory (required)")
 	shards := flag.Int("shards", 4, "shard count when creating a new set")
 	structure := flag.String("structure", "hashmap", fmt.Sprintf("kv structure when creating: %v", registry.Names()))
-	mode := flag.String("mode", "pangolin-mlpc", "pool operation mode")
+	mode := flag.String("mode", "pangolin-mlpc",
+		fmt.Sprintf("pool operation mode: %v (the unprotected pmemobj baseline is rejected)", shard.ModeNames()))
 	zones := flag.Uint64("zones", 8, "zones per shard pool when creating (capacity)")
 	serialReads := flag.Bool("serial-reads", false,
 		"route every GET through the shard worker (disable the concurrent verified-read fast path); for A/B measurement")
@@ -63,15 +54,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	m, ok := modeNames[*mode]
-	if !ok {
-		log.Fatalf("pglserve: unknown mode %q", *mode)
-	}
 	geo := pangolin.DefaultGeometry()
 	geo.NumZones = *zones
+	// The mode name goes through shard.Options.Mode, the explicit
+	// channel: shard rejects "pmemobj" with a typed error (and unknown
+	// names with a naming error) instead of silently serving another
+	// mode.
 	opts := shard.Options{
 		Structure:   *structure,
-		Pangolin:    pangolin.Config{Mode: m, Geometry: geo},
+		Mode:        *mode,
+		Pangolin:    pangolin.Config{Geometry: geo},
 		SerialReads: *serialReads,
 	}
 

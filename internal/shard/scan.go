@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Pair is one key/value pair in a scan result.
+type Pair struct {
+	K uint64 `json:"k"`
+	V uint64 `json:"v"`
+}
+
+// ScanChunkPairs is how many pairs a shard-level scan pulls per reader-
+// gate hold. Chunking is what keeps long scans off the single-writer
+// commit path: the gate is released and re-acquired every chunk, so a
+// scan over millions of keys never excludes the worker's group commits
+// for longer than one chunk's traversal.
+const ScanChunkPairs = 256
+
+// shardStream pulls one shard's in-range pairs in ascending chunks and
+// feeds them to the merge.
+type shardStream struct {
+	w    *worker
+	buf  []Pair
+	pos  int
+	next uint64 // next key to fetch from
+	hi   uint64
+	done bool // no further pairs in [next, hi] on this shard
+}
+
+// fill pulls the next chunk. A chunk shorter than requested means the
+// shard is exhausted in the range, as is a chunk ending at the top of
+// the key space.
+func (st *shardStream) fill(chunk int) error {
+	pairs, err := st.w.scanChunk(st.next, st.hi, chunk)
+	if err != nil {
+		return err
+	}
+	st.buf, st.pos = pairs, 0
+	if len(pairs) < chunk {
+		st.done = true
+	} else if last := pairs[len(pairs)-1].K; last >= st.hi || last == ^uint64(0) {
+		st.done = true
+	} else {
+		st.next = last + 1
+	}
+	return nil
+}
+
+func (st *shardStream) head() Pair { return st.buf[st.pos] }
+
+// scanHeap is a min-heap of non-empty shard streams keyed by head key.
+type scanHeap []*shardStream
+
+func (h scanHeap) Len() int           { return len(h) }
+func (h scanHeap) Less(i, j int) bool { return h[i].head().K < h[j].head().K }
+func (h scanHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x any)        { *h = append(*h, x.(*shardStream)) }
+func (h *scanHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Scan returns up to limit pairs with keys in [lo, hi] in ascending key
+// order, merged across every shard (keys are hash-partitioned, so each
+// shard contributes an arbitrary but disjoint subset; a k-way heap merge
+// of the per-shard ascending streams yields globally ordered,
+// duplicate-free output). next is the key to pass as lo to continue a
+// paginated scan, meaningful only when more is true.
+//
+// Each shard is consumed in ScanChunkPairs-sized chunks: the concurrent
+// fast path scans the shard's ReadView on this goroutine under the
+// shard's reader gate, releasing it between chunks, and a gate-busy or
+// faulting chunk falls back to that shard's worker queue. Consistency is
+// therefore per chunk — every chunk observes a single committed image of
+// its shard (commits are excluded while it runs), but a scan spanning
+// several chunks or shards is NOT a point-in-time snapshot: pairs
+// committed behind the cursor are missed, pairs ahead of it appear.
+// Every returned pair was committed at the moment its chunk read it.
+//
+// A shutdown surfaces as ErrShuttingDown (errors.Is), matching Get.
+func (s *Set) Scan(lo, hi uint64, limit int) (pairs []Pair, next uint64, more bool, err error) {
+	if limit <= 0 || lo > hi {
+		return nil, 0, false, nil
+	}
+	chunk := min(ScanChunkPairs, limit)
+	streams := make([]*shardStream, len(s.workers))
+	errs := make([]error, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		streams[i] = &shardStream{w: w, next: lo, hi: hi}
+		wg.Add(1)
+		go func(i int) { // initial fills run in parallel across shards
+			defer wg.Done()
+			errs[i] = streams[i].fill(chunk)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, 0, false, fmt.Errorf("shard %d: %w", i, e)
+		}
+	}
+	h := make(scanHeap, 0, len(streams))
+	for _, st := range streams {
+		if len(st.buf) > 0 {
+			h = append(h, st)
+		}
+	}
+	heap.Init(&h)
+	pairs = make([]Pair, 0, min(limit, 1024))
+	pending := false // a stream drained unexhausted after the page filled
+	for len(h) > 0 && len(pairs) < limit {
+		st := h[0]
+		pairs = append(pairs, st.head())
+		st.pos++
+		if st.pos == len(st.buf) && !st.done {
+			if len(pairs) == limit {
+				// The page is complete: prefetching another chunk just to
+				// decide `more` would spend a gate hold — and, were it to
+				// fail, discard the finished page. Report more
+				// conservatively instead; if the shard's range happened to
+				// end exactly at the chunk boundary, the follow-up call
+				// returns an empty terminal page.
+				pending = true
+			} else if err := st.fill(chunk); err != nil {
+				// Mid-page the error is authoritative: the page is
+				// genuinely incomplete, so surface it rather than hand
+				// back a truncated range that looks done.
+				return nil, 0, false, fmt.Errorf("shard %d: %w", st.w.idx, err)
+			}
+		}
+		if st.pos < len(st.buf) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	if len(h) == 0 && !pending {
+		return pairs, 0, false, nil
+	}
+	last := pairs[len(pairs)-1].K
+	if last == ^uint64(0) {
+		return pairs, 0, false, nil
+	}
+	return pairs, last + 1, true, nil
+}

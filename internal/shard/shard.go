@@ -42,6 +42,15 @@ import (
 // lifecycle event rather than data-path corruption.
 var ErrShuttingDown = errors.New("shard set shutting down")
 
+// ErrUnprotectedMode reports an explicit request for the unprotected
+// pmemobj baseline through a service set. The baseline is numerically
+// the zero Mode, so the numeric Config field cannot distinguish "asked
+// for pmemobj" from "left at the default"; Options.Mode can, and an
+// explicit "pmemobj" is rejected with this error instead of being
+// silently upgraded to full protection (the pre-fix behavior, which
+// served a different mode than the operator asked for).
+var ErrUnprotectedMode = errors.New("shard: the unprotected pmemobj mode is not servable (a serving layer that silently dropped every protection would be a footgun)")
+
 // rootMagic guards shard roots against foreign pools.
 const rootMagic uint64 = 0x5348415244303031 // "SHARD001"
 
@@ -62,11 +71,18 @@ type Options struct {
 	// Structure selects the kv structure by registry name; default
 	// "hashmap".
 	Structure string
-	// Pangolin configures each shard pool. A zero Mode always selects
-	// ModePangolinMLPC, the fully protected system (the unprotected
-	// pmemobj baseline is numerically zero and not selectable through a
-	// service set — a serving layer that silently dropped every
-	// protection would be a footgun).
+	// Mode selects each shard pool's operation mode BY NAME ("pangolin",
+	// "pangolin-ml", "pangolin-mlp", "pangolin-mlpc"), overriding
+	// Pangolin.Mode. Empty defers to Pangolin.Mode. This is the explicit
+	// channel: requesting "pmemobj" fails with ErrUnprotectedMode, and an
+	// unknown name is an error, where the numeric field below cannot tell
+	// an explicit pmemobj request from the zero-value default.
+	Mode string
+	// Pangolin configures each shard pool. A zero (pmemobj) Mode always
+	// selects ModePangolinMLPC, the fully protected system: the
+	// unprotected baseline is numerically zero, so this field cannot
+	// carry an explicit pmemobj request — use Mode, which rejects it
+	// with a typed error instead of silently upgrading.
 	Pangolin pangolin.Config
 	// QueueLen is the per-shard request queue depth; default 128.
 	QueueLen int
@@ -89,12 +105,39 @@ func (o *Options) structure() string {
 	return o.Structure
 }
 
-func (o *Options) config() pangolin.Config {
+// modeNames maps the servable mode names. "pmemobj" is deliberately
+// absent: an explicit request for it is rejected, not coerced.
+var modeNames = map[string]pangolin.Mode{
+	"pangolin":      pangolin.ModePangolin,
+	"pangolin-ml":   pangolin.ModePangolinML,
+	"pangolin-mlp":  pangolin.ModePangolinMLP,
+	"pangolin-mlpc": pangolin.ModePangolinMLPC,
+}
+
+// ModeNames returns the servable mode names in protection order.
+func ModeNames() []string {
+	return []string{"pangolin", "pangolin-ml", "pangolin-mlp", "pangolin-mlpc"}
+}
+
+func (o *Options) config() (pangolin.Config, error) {
 	cfg := o.Pangolin
-	if cfg.Mode == pangolin.ModePmemobj {
-		cfg.Mode = pangolin.ModePangolinMLPC
+	switch o.Mode {
+	case "":
+		// Numeric path: zero (== ModePmemobj) is indistinguishable from
+		// "unset" and means the fully protected default.
+		if cfg.Mode == pangolin.ModePmemobj {
+			cfg.Mode = pangolin.ModePangolinMLPC
+		}
+	case "pmemobj":
+		return cfg, ErrUnprotectedMode
+	default:
+		m, ok := modeNames[o.Mode]
+		if !ok {
+			return cfg, fmt.Errorf("shard: unknown mode %q (have %v)", o.Mode, ModeNames())
+		}
+		cfg.Mode = m
 	}
-	return cfg
+	return cfg, nil
 }
 
 func (o *Options) queueLen() int {
@@ -126,9 +169,13 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
 	// NewPoolSet defers the snapshot writes: the Sync below persists the
 	// pools once, with their roots already initialized.
-	pools, err := pangolin.NewPoolSet(dir, n, opts.config())
+	pools, err := pangolin.NewPoolSet(dir, n, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +202,7 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, opts.queueLen(), opts.maxBatch()))
+		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch()))
 	}
 	// Persist the freshly initialized roots and anchors.
 	if err := s.Sync(); err != nil {
@@ -169,7 +216,11 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 // — reattaches each shard's structure, and starts the workers.
 // opts.Structure is ignored; the structure is read from the shard roots.
 func Open(dir string, opts Options) (*Set, error) {
-	pools, err := pangolin.OpenPoolSet(dir, opts.config())
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	pools, err := pangolin.OpenPoolSet(dir, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +258,7 @@ func Open(dir string, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, opts.queueLen(), opts.maxBatch()))
+		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch()))
 	}
 	return s, nil
 }
@@ -452,6 +503,12 @@ func (s *Set) Stats() Stats {
 		st.Batches += r.stats.Batches
 		st.BatchedOps += r.stats.BatchedOps
 		st.GroupFallbacks += r.stats.GroupFallbacks
+		st.Scans += r.stats.Scans
+		st.ScanPairs += r.stats.ScanPairs
+		st.FastScans += r.stats.FastScans
+		st.FastScanPairs += r.stats.FastScanPairs
+		st.ScanFallbacks += r.stats.ScanFallbacks
+		st.ScanFaults += r.stats.ScanFaults
 		st.Objects += r.stats.Objects
 		st.Bytes += r.stats.Bytes
 	}
@@ -480,10 +537,10 @@ type ShardStats struct {
 	// Gets counts reads served by the worker goroutine; FastGets counts
 	// reads served on the concurrent fast path (callers' goroutines,
 	// checksum-verified, no worker hop). Total reads = Gets + FastGets.
-	Gets  uint64 `json:"gets"`
-	Puts  uint64 `json:"puts"`
-	Dels  uint64 `json:"dels"`
-	Hits  uint64 `json:"hits"`
+	Gets uint64 `json:"gets"`
+	Puts uint64 `json:"puts"`
+	Dels uint64 `json:"dels"`
+	Hits uint64 `json:"hits"`
 	// Fast-path accounting. FastFallbacks counts reads bounced to the
 	// worker because the reader gate was unavailable (a group commit,
 	// save, crash image, scrub, or recovery window); FastFaults counts
@@ -504,8 +561,22 @@ type ShardStats struct {
 	// GroupFallbacks counts groups whose transaction failed and whose
 	// ops were retried individually.
 	GroupFallbacks uint64 `json:"group_fallbacks"`
-	Objects        int    `json:"objects"`
-	Bytes          uint64 `json:"bytes"`
+	// Scan chunk accounting, mirroring the Get split: FastScans counts
+	// chunks served on the concurrent fast path (ReadView scans under
+	// the reader gate, no worker hop) and Scans counts chunks served by
+	// the worker's repairing path; ScanFallbacks/ScanFaults count
+	// chunks bounced to the worker by cause (gate busy/freeze vs a
+	// fault needing repair). Pairs are the key/value pairs the chunks
+	// returned. Tests assert FastScans > 0 to prove fast-path scans
+	// engage.
+	Scans         uint64 `json:"scans"`
+	ScanPairs     uint64 `json:"scan_pairs"`
+	FastScans     uint64 `json:"fast_scans"`
+	FastScanPairs uint64 `json:"fast_scan_pairs"`
+	ScanFallbacks uint64 `json:"scan_fallbacks"`
+	ScanFaults    uint64 `json:"scan_faults"`
+	Objects       int    `json:"objects"`
+	Bytes         uint64 `json:"bytes"`
 }
 
 // Stats aggregates the set's counters.
@@ -524,6 +595,12 @@ type Stats struct {
 	Batches        uint64       `json:"batches"`
 	BatchedOps     uint64       `json:"batched_ops"`
 	GroupFallbacks uint64       `json:"group_fallbacks"`
+	Scans          uint64       `json:"scans"`
+	ScanPairs      uint64       `json:"scan_pairs"`
+	FastScans      uint64       `json:"fast_scans"`
+	FastScanPairs  uint64       `json:"fast_scan_pairs"`
+	ScanFallbacks  uint64       `json:"scan_fallbacks"`
+	ScanFaults     uint64       `json:"scan_faults"`
 	Objects        int          `json:"objects"`
 	Bytes          uint64       `json:"bytes"`
 	Shards         []ShardStats `json:"shards"`

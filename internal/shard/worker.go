@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +16,7 @@ const (
 	opGet
 	opDel
 	opBatch // a client-supplied group of Get/Put/Del for this shard
+	opScan  // one scan chunk on the owner (repairing) read path
 	opStats
 	opSync  // save this shard's snapshot file
 	opCrash // write a crash image over this shard's snapshot file
@@ -46,7 +48,8 @@ type BatchResult struct {
 
 type request struct {
 	op    uint8
-	k, v  uint64
+	k, v  uint64 // key/value; for opScan, the lo/hi bounds
+	max   int    // opScan: chunk pair cap
 	seed  int64
 	ops   []BatchOp // opBatch
 	reply chan response
@@ -57,6 +60,7 @@ type response struct {
 	ok    bool
 	err   error
 	batch []BatchResult // opBatch
+	pairs []Pair        // opScan
 	stats ShardStats
 	scrub pangolin.ScrubReport
 }
@@ -79,6 +83,7 @@ type worker struct {
 	pool     *pangolin.Pool
 	m        kv.Map
 	maxBatch int
+	ordered  bool // the structure's Scan yields ascending keys
 
 	// Concurrent verified-read fast path. rom is a second instance of
 	// the shard's structure attached to the pool's ReadView; callers'
@@ -100,6 +105,13 @@ type worker struct {
 	fastFallbacks atomic.Uint64 // reads bounced to the worker: gate busy / freeze
 	fastFaults    atomic.Uint64 // reads bounced to the worker: fault needing repair
 
+	// Scan chunk counters, touched from many reader goroutines (fast)
+	// and the worker (serial; scans/scanPairs below).
+	fastScans     atomic.Uint64 // scan chunks served on the fast path
+	fastScanPairs atomic.Uint64 // pairs those chunks carried
+	scanFallbacks atomic.Uint64 // chunks bounced to the worker: gate busy / freeze
+	scanFaults    atomic.Uint64 // chunks bounced to the worker: fault needing repair
+
 	// Shutdown protocol: the lock covers only the closed flag and
 	// sender registration — never a channel send — so stop() cannot
 	// wedge behind a full queue, and senders cannot wedge behind a
@@ -113,16 +125,18 @@ type worker struct {
 	// Counters, touched only by the worker goroutine.
 	gets, puts, dels, hits, errs        uint64
 	batches, batchedOps, groupFallbacks uint64
+	scans, scanPairs                    uint64    // worker-path scan chunks
 	scratch                             []request // loop-local drain buffer
 }
 
-func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.Map, queueLen, maxBatch int) *worker {
+func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.Map, ordered bool, queueLen, maxBatch int) *worker {
 	w := &worker{
 		idx:      idx,
 		pools:    pools,
 		pool:     pool,
 		m:        m,
 		rom:      rom,
+		ordered:  ordered,
 		maxBatch: maxBatch,
 		reqs:     make(chan request, queueLen),
 		exited:   make(chan struct{}),
@@ -206,6 +220,85 @@ func (w *worker) fastGetBatch(ops []BatchOp) ([]BatchResult, bool) {
 	w.fastGets.Add(uint64(len(ops)))
 	w.fastHits.Add(hits)
 	return res, true
+}
+
+// scanChunk returns the up-to-max smallest pairs with keys in [lo, hi],
+// ascending. It first attempts the concurrent fast path (a ReadView scan
+// under the reader gate on the caller's goroutine); a gate-busy, freeze,
+// or fault chunk falls back to the worker queue, whose repairing read
+// path serializes with everything else. len(result) < max means the
+// shard holds no further pairs in the range.
+func (w *worker) scanChunk(lo, hi uint64, max int) ([]Pair, error) {
+	if pairs, err, served := w.fastScanChunk(lo, hi, max); served {
+		return pairs, err
+	}
+	r := w.do(request{op: opScan, k: lo, v: hi, max: max})
+	return r.pairs, r.err
+}
+
+// fastScanChunk attempts one scan chunk on the concurrent fast path,
+// holding the reader gate's read side for the duration of the chunk —
+// and only the chunk, so a long Set.Scan releases and re-acquires the
+// gate every chunk and never starves the worker's group commits.
+// served=false means the caller must route the chunk through the worker.
+func (w *worker) fastScanChunk(lo, hi uint64, max int) (pairs []Pair, err error, served bool) {
+	if w.rom == nil {
+		return nil, nil, false
+	}
+	if w.isClosed() {
+		return nil, fmt.Errorf("shard %d: %w", w.idx, ErrShuttingDown), true
+	}
+	if !w.gate.TryRLock() {
+		w.scanFallbacks.Add(1)
+		return nil, nil, false
+	}
+	pairs, err = scanCollect(w.rom, w.ordered, lo, hi, max)
+	w.gate.RUnlock()
+	if err != nil {
+		if pangolin.ReadBusy(err) {
+			w.scanFallbacks.Add(1)
+		} else {
+			w.scanFaults.Add(1)
+		}
+		return nil, nil, false
+	}
+	w.fastScans.Add(1)
+	w.fastScanPairs.Add(uint64(len(pairs)))
+	return pairs, nil, true
+}
+
+// scanCollect gathers the up-to-max smallest in-range pairs from one
+// structure instance, ascending. Ordered structures stream ascending
+// already, so the scan early-stops at max pairs; the unordered hashmap
+// must visit the whole range, so the collector keeps a sorted bound of
+// the max smallest seen (bounded memory, one full pass per chunk).
+func scanCollect(m kv.Map, ordered bool, lo, hi uint64, max int) ([]Pair, error) {
+	if max <= 0 || lo > hi {
+		return nil, nil
+	}
+	if ordered {
+		out := make([]Pair, 0, min(max, 64))
+		err := m.Scan(lo, hi, func(k, v uint64) bool {
+			out = append(out, Pair{K: k, V: v})
+			return len(out) < max
+		})
+		return out, err
+	}
+	out := make([]Pair, 0, min(max, 64))
+	err := m.Scan(lo, hi, func(k, v uint64) bool {
+		i := sort.Search(len(out), func(i int) bool { return out[i].K >= k })
+		if len(out) == max {
+			if i == max {
+				return true // larger than every kept pair
+			}
+			out = out[:max-1] // drop the current largest
+		}
+		out = append(out, Pair{})
+		copy(out[i+1:], out[i:])
+		out[i] = Pair{K: k, V: v}
+		return true
+	})
+	return out, err
 }
 
 // send enqueues req and returns its reply channel. The closed check and
@@ -566,6 +659,16 @@ func (w *worker) handle(req request) response {
 			}
 		}
 		return response{batch: res}
+	case opScan:
+		// The worker-path scan chunk: the owner instance's repairing
+		// reads, serialized with transactions like every worker op.
+		w.scans++
+		pairs, err := scanCollect(w.m, w.ordered, req.k, req.v, req.max)
+		if err != nil {
+			w.errs++
+		}
+		w.scanPairs += uint64(len(pairs))
+		return response{pairs: pairs, err: err}
 	case opStats:
 		live := w.pool.LiveObjects()
 		return response{stats: ShardStats{
@@ -582,6 +685,12 @@ func (w *worker) handle(req request) response {
 			Batches:        w.batches,
 			BatchedOps:     w.batchedOps,
 			GroupFallbacks: w.groupFallbacks,
+			Scans:          w.scans,
+			ScanPairs:      w.scanPairs,
+			FastScans:      w.fastScans.Load(),
+			FastScanPairs:  w.fastScanPairs.Load(),
+			ScanFallbacks:  w.scanFallbacks.Load(),
+			ScanFaults:     w.scanFaults.Load(),
 			Objects:        live.Objects,
 			Bytes:          live.Bytes,
 		}}

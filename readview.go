@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/pangolin-go/pangolin/internal/core"
+	"github.com/pangolin-go/pangolin/internal/nvm"
 )
 
 // ErrReadBusy reports that a read-view Get could not proceed because the
@@ -13,6 +14,34 @@ import (
 // the read through the pool's owner goroutine, whose repairing path
 // waits the freeze out.
 var ErrReadBusy = core.ErrReadBusy
+
+// CorruptionError reports object corruption — a checksum mismatch or an
+// implausible header — that the current read path could not (ReadView)
+// or cannot (owner path after retries) repair. On a ReadView it is
+// retryable: route the read through the pool's owner goroutine, whose
+// repairing path runs online recovery.
+type CorruptionError = core.CorruptionError
+
+// IsCorruption reports whether err carries a CorruptionError, the typed
+// "object failed verification" condition a ReadView caller resolves by
+// retrying through the owner path (as opposed to ErrReadBusy, which is a
+// transient freeze window).
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
+
+// PoisonError reports a load from a poisoned page — an uncorrectable
+// media error, the SIGBUS analog. On a ReadView it is retryable exactly
+// like a CorruptionError: the owner path's repairing read rebuilds the
+// page from parity.
+type PoisonError = nvm.PoisonError
+
+// IsPoison reports whether err carries a PoisonError.
+func IsPoison(err error) bool {
+	var pe *PoisonError
+	return errors.As(err, &pe)
+}
 
 // readViewState is the per-view verified-object cache. Pangolin's
 // headline read design (§3.3) has readers verify per-object checksums

@@ -178,6 +178,55 @@ func (c *Client) MDel(keys []uint64) ([]bool, error) {
 	return present, nil
 }
 
+// Scan fetches up to limit pairs with keys in [lo, hi] in ascending key
+// order, resuming from cursor (pass 0 to start at lo, then the returned
+// next while more is true). limit 0 (or beyond MaxScanPairs) asks for a
+// full MaxScanPairs frame. Consistency is per server-side chunk — each
+// chunk is a committed image of its shard, but a paginated scan is not a
+// point-in-time snapshot across pages or shards (see the package
+// documentation).
+func (c *Client) Scan(lo, hi uint64, limit int, cursor uint64) (pairs []Pair, next uint64, more bool, err error) {
+	status, body, err := c.roundTrip(Request{
+		Op: OpScan, Key: lo, Val: hi, Limit: uint64(limit), Cursor: cursor,
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if status != StatusOK || len(body) < 9 || (len(body)-9)%16 != 0 {
+		return nil, 0, false, fmt.Errorf("server: SCAN response status %d, body %d bytes", status, len(body))
+	}
+	more = body[0] == 1
+	next = binary.BigEndian.Uint64(body[1:])
+	n := (len(body) - 9) / 16
+	pairs = make([]Pair, n)
+	for i := 0; i < n; i++ {
+		rec := body[9+i*16:]
+		pairs[i] = Pair{K: binary.BigEndian.Uint64(rec), V: binary.BigEndian.Uint64(rec[8:])}
+	}
+	return pairs, next, more, nil
+}
+
+// ScanAll paginates Scan until the range is exhausted, calling fn for
+// every pair in ascending key order; fn returning false stops the scan.
+func (c *Client) ScanAll(lo, hi uint64, fn func(k, v uint64) bool) error {
+	cursor := uint64(0)
+	for {
+		pairs, next, more, err := c.Scan(lo, hi, 0, cursor)
+		if err != nil {
+			return err
+		}
+		for _, pr := range pairs {
+			if !fn(pr.K, pr.V) {
+				return nil
+			}
+		}
+		if !more {
+			return nil
+		}
+		cursor = next
+	}
+}
+
 // Stats fetches the server's shard statistics.
 func (c *Client) Stats() (Stats, error) {
 	var st Stats

@@ -67,6 +67,44 @@
 // -serial-reads disables it entirely for A/B runs; scripts/loadtest.sh
 // measures both and emits the ratio in compare.json).
 //
+// # Ordered range scans
+//
+// SCAN serves the five ordered structures' differentiator — bounded,
+// ascending iteration — through every layer. Keys are hash-partitioned,
+// so each shard holds an arbitrary but disjoint subset of a range; the
+// server streams each shard's in-range pairs ascending and k-way
+// heap-merges the streams into globally ordered, duplicate-free output
+// (the unordered hashmap still scans completely: its per-shard chunks
+// are k-smallest selections over a full pass, so merged output is
+// ordered for every structure). Shards are consumed in fixed-size
+// chunks under the per-shard reader gate — the gate is released and
+// re-acquired every chunk (shard.ScanChunkPairs pairs), so a long scan
+// never starves a shard's group commits — with the same two-population
+// split as GET: chunks run checksum-verified on the connection
+// handler's goroutine against the shard's ReadView when the gate is
+// free, and fall back to the worker queue when it is busy or the chunk
+// hits a fault needing repair. STATS reports fast_scans/fast_scan_pairs
+// vs scans/scan_pairs, plus scan_fallbacks/scan_faults by cause.
+//
+// Consistency is stated honestly: per-chunk commit-consistency, not a
+// point-in-time snapshot. Every chunk observes a single committed image
+// of its shard (commits are excluded while the chunk runs, so no torn
+// pairs and no uncommitted values), but a scan that spans several
+// chunks, pages, or shards composes images taken at different moments:
+// a pair committed behind the cursor after its chunk ran is missed, and
+// a pair committed ahead of the cursor appears. Applications needing a
+// frozen view should scan a quiesced store.
+//
+// A SCAN request carries lo, hi, limit, cursor; the scan starts at
+// max(lo, cursor) — pass cursor 0 to start a fresh scan — and returns
+// at most limit pairs (limit 0, or above MaxScanPairs (4096), asks for
+// a full frame). The response body leads with a more byte and a
+// next-cursor: while more is 1, repeating the request with cursor set
+// to next-cursor continues the scan exactly where the previous page
+// ended, with no gaps and no repeats (the cursor is a plain key, so it
+// remains valid across reconnects and server restarts). When more is 0
+// the range is exhausted and next-cursor is meaningless.
+//
 // Clients feed that window two ways: many connections (concurrent
 // single-op requests against one shard group together), or the batch ops
 // MGET/MPUT/MDEL, which carry many operations in one frame. A batch
@@ -106,6 +144,7 @@
 //	MGET  (7)  key*                batch lookup, N = (len-1)/8 ops
 //	MPUT  (8)  (key value)*        batch insert/update, N = (len-1)/16 ops
 //	MDEL  (9)  key*                batch delete, N = (len-1)/8 ops
+//	SCAN  (10) lo hi limit cursor  ordered range scan from max(lo, cursor)
 //
 // Batch ops carry no explicit count — the frame length delimits them — but
 // the payload must be a whole number of ops, at least 1 and at most
@@ -118,7 +157,11 @@
 //	OK        (0)  GET → value(uint64 BE); STATS → JSON (shard.Stats);
 //	               PUT, DEL, SYNC, CRASH → empty;
 //	               MGET → N × (status(1 B) value(uint64 BE));
-//	               MPUT, MDEL → N × status(1 B)
+//	               MPUT, MDEL → N × status(1 B);
+//	               SCAN → more(1 B) next-cursor(uint64 BE)
+//	                      (key(uint64 BE) value(uint64 BE))*,
+//	               at most MaxScanPairs pairs per frame, ascending,
+//	               N = (len-10)/16
 //	NOT_FOUND (1)  GET or DEL of an absent key; empty body
 //	ERR       (2)  body is a UTF-8 error message
 //

@@ -17,15 +17,16 @@ import (
 
 // Request opcodes.
 const (
-	OpGet   uint8 = 1 // key → value
-	OpPut   uint8 = 2 // key, value
-	OpDel   uint8 = 3 // key
-	OpStats uint8 = 4 // → JSON body
-	OpSync  uint8 = 5 // save every shard snapshot
-	OpCrash uint8 = 6 // seed → write crash images, then the server dies
-	OpMGet  uint8 = 7 // N keys → N (found, value) records
-	OpMPut  uint8 = 8 // N (key, value) pairs → N status bytes
-	OpMDel  uint8 = 9 // N keys → N status bytes
+	OpGet   uint8 = 1  // key → value
+	OpPut   uint8 = 2  // key, value
+	OpDel   uint8 = 3  // key
+	OpStats uint8 = 4  // → JSON body
+	OpSync  uint8 = 5  // save every shard snapshot
+	OpCrash uint8 = 6  // seed → write crash images, then the server dies
+	OpMGet  uint8 = 7  // N keys → N (found, value) records
+	OpMPut  uint8 = 8  // N (key, value) pairs → N status bytes
+	OpMDel  uint8 = 9  // N keys → N status bytes
+	OpScan  uint8 = 10 // lo, hi, limit, cursor → more, next-cursor, (key value)*
 )
 
 // Per-op status bytes inside an MGET/MPUT/MDEL response body (the frame
@@ -40,6 +41,11 @@ const (
 // every shard's group-commit window full, small enough that one frame
 // can't pin megabytes per connection.
 const MaxBatchOps = 4096
+
+// MaxScanPairs caps the pairs one SCAN response frame carries; a request
+// with a zero or larger limit is clamped to it. Deeper scans paginate
+// with the response's next-cursor.
+const MaxScanPairs = 4096
 
 // Response status codes.
 const (
@@ -91,15 +97,23 @@ func appendU64(b []byte, v uint64) []byte {
 }
 
 // Request is a decoded client request. Single-field ops (OpGet, OpDel,
-// OpCrash) carry their field — key or seed — in Key. Batch ops carry
+// OpCrash) carry their field — key or seed — in Key. OpScan carries its
+// bounds in Key (lo) and Val (hi) plus Limit and Cursor. Batch ops carry
 // Keys (MGET, MDEL) or Keys+Vals pairwise (MPUT); decoded slices alias
 // nothing and are safe to retain.
 type Request struct {
-	Op   uint8
-	Key  uint64
-	Val  uint64   // OpPut only
-	Keys []uint64 // OpMGet, OpMPut, OpMDel
-	Vals []uint64 // OpMPut only
+	Op     uint8
+	Key    uint64
+	Val    uint64   // OpPut value; OpScan hi bound
+	Limit  uint64   // OpScan only: max pairs in the response
+	Cursor uint64   // OpScan only: resume key (0 on a fresh scan)
+	Keys   []uint64 // OpMGet, OpMPut, OpMDel
+	Vals   []uint64 // OpMPut only
+}
+
+// fields returns the fixed uint64 fields an op carries, in wire order.
+func (r *Request) fields() [4]*uint64 {
+	return [4]*uint64{&r.Key, &r.Val, &r.Limit, &r.Cursor}
 }
 
 // fieldCount returns how many uint64 fields a fixed-shape op carries, or
@@ -114,6 +128,8 @@ func fieldCount(op uint8) (int, error) {
 		return 0, nil
 	case OpCrash:
 		return 1, nil
+	case OpScan:
+		return 4, nil
 	case OpMGet, OpMPut, OpMDel:
 		return -1, nil
 	default:
@@ -163,11 +179,11 @@ func EncodeRequest(b []byte, req Request) ([]byte, error) {
 		return b, nil
 	}
 	b = append(b, req.Op)
-	if n >= 1 {
-		b = appendU64(b, req.Key)
-	}
-	if n >= 2 {
-		b = appendU64(b, req.Val)
+	for i, f := range req.fields() {
+		if i >= n {
+			break
+		}
+		b = appendU64(b, *f)
 	}
 	return b, nil
 }
@@ -208,11 +224,11 @@ func DecodeRequest(p []byte) (Request, error) {
 	if len(p) != 1+8*n {
 		return Request{}, fmt.Errorf("server: op %d wants %d bytes, got %d", req.Op, 1+8*n, len(p))
 	}
-	if n >= 1 {
-		req.Key = binary.BigEndian.Uint64(p[1:])
-	}
-	if n >= 2 {
-		req.Val = binary.BigEndian.Uint64(p[9:])
+	for i, f := range req.fields() {
+		if i >= n {
+			break
+		}
+		*f = binary.BigEndian.Uint64(p[1+8*i:])
 	}
 	return req, nil
 }

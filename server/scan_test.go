@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestServerScan: the SCAN op end-to-end over 4 shards — ordering,
+// bounds, cursor pagination, limit clamping, and the stats counters.
+func TestServerScan(t *testing.T) {
+	_, addr := startServer(t, t.TempDir(), 4)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 300
+	for k := uint64(0); k < n; k++ {
+		if err := c.Put(k, k*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Full range in one frame.
+	pairs, _, more, err := c.Scan(0, ^uint64(0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != n || more {
+		t.Fatalf("full scan = %d pairs, more=%v, want %d", len(pairs), more, n)
+	}
+	for i, pr := range pairs {
+		if pr.K != uint64(i) || pr.V != uint64(i)*7 {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, pr.K, pr.V, i, uint64(i)*7)
+		}
+	}
+
+	// Bounded subrange, inclusive at both ends.
+	pairs, _, more, err = c.Scan(10, 20, 0, 0)
+	if err != nil || len(pairs) != 11 || more {
+		t.Fatalf("scan [10,20] = %d pairs, more=%v, err=%v", len(pairs), more, err)
+	}
+	if pairs[0].K != 10 || pairs[10].K != 20 {
+		t.Fatalf("scan [10,20] spans [%d,%d]", pairs[0].K, pairs[10].K)
+	}
+
+	// Pagination with a small limit: pages concatenate to the full range
+	// with no gaps or repeats.
+	var all []Pair
+	cursor := uint64(0)
+	page := 0
+	for {
+		pairs, next, more, err := c.Scan(0, ^uint64(0), 37, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) > 37 {
+			t.Fatalf("page %d has %d pairs, limit 37", page, len(pairs))
+		}
+		all = append(all, pairs...)
+		if !more {
+			break
+		}
+		cursor = next
+		page++
+	}
+	if len(all) != n {
+		t.Fatalf("paginated scan yielded %d pairs, want %d", len(all), n)
+	}
+	for i, pr := range all {
+		if pr.K != uint64(i) {
+			t.Fatalf("paginated pair %d has key %d", i, pr.K)
+		}
+	}
+
+	// ScanAll convenience matches, and early-stops.
+	count := 0
+	if err := c.ScanAll(0, ^uint64(0), func(k, v uint64) bool { count++; return count < 50 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("ScanAll early stop visited %d", count)
+	}
+
+	// Scan counters flow through STATS.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FastScans == 0 && st.Scans == 0 {
+		t.Fatal("STATS shows no scan chunks after scanning")
+	}
+	if st.FastScanPairs+st.ScanPairs == 0 {
+		t.Fatal("STATS shows no scanned pairs")
+	}
+}
+
+// TestServerScanUnderWrites: scans stay ordered, in-bounds, and
+// duplicate-free while concurrent clients commit writes — the e2e shape
+// of the acceptance criterion, in-process.
+func TestServerScanUnderWrites(t *testing.T) {
+	_, addr := startServer(t, t.TempDir(), 4)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const keys = 512
+	for k := uint64(0); k < keys; k++ {
+		if err := c.Put(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer wc.Close()
+			for i := uint64(0); !stop.Load(); i++ {
+				if err := wc.Put((i*3+uint64(w))%keys, i); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 30; round++ {
+		var last uint64
+		first := true
+		cursor := uint64(0)
+		total := 0
+		for {
+			pairs, next, more, err := c.Scan(0, keys-1, 100, cursor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pr := range pairs {
+				if pr.K > keys-1 {
+					t.Fatalf("out-of-bounds key %d", pr.K)
+				}
+				if !first && pr.K <= last {
+					t.Fatalf("order regressed: %d after %d", pr.K, last)
+				}
+				last, first = pr.K, false
+				total++
+			}
+			if !more {
+				break
+			}
+			cursor = next
+		}
+		// Keys are only ever overwritten, never deleted, so every scan
+		// must see all of them regardless of the concurrent commits.
+		if total != keys {
+			t.Fatalf("round %d: scan saw %d keys, want %d", round, total, keys)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -15,6 +15,9 @@ import (
 // Stats is the payload of a STATS response.
 type Stats = shard.Stats
 
+// Pair is one key/value pair in a SCAN response.
+type Pair = shard.Pair
+
 // Server serves the KV protocol over TCP on top of a shard.Set. It owns
 // the network side only: the set is created and closed by the caller, so a
 // simulated crash can abandon the set while the process decides how to
@@ -198,6 +201,8 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 		return EncodeResponse(out, StatusOK, nil), false
 	case OpMGet, OpMPut, OpMDel:
 		return s.handleBatch(out, req), false
+	case OpScan:
+		return s.handleScan(out, req), false
 	case OpStats:
 		body, err := json.Marshal(s.set.Stats())
 		if err != nil {
@@ -217,6 +222,38 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 	default:
 		return EncodeResponse(out, StatusErr, []byte(fmt.Sprintf("unknown op %d", req.Op))), false
 	}
+}
+
+// handleScan executes one SCAN: a globally ordered, cross-shard merged
+// range scan of up to limit pairs starting at max(lo, cursor). The
+// response body is more(1 B), next-cursor(uint64 BE), then the pairs as
+// (key value) uint64 BE records; see doc.go for cursor and consistency
+// semantics.
+func (s *Server) handleScan(out []byte, req Request) []byte {
+	lo, hi := req.Key, req.Val
+	if req.Cursor > lo {
+		lo = req.Cursor
+	}
+	limit := int(req.Limit)
+	if req.Limit == 0 || req.Limit > MaxScanPairs {
+		limit = MaxScanPairs
+	}
+	pairs, next, more, err := s.set.Scan(lo, hi, limit)
+	if err != nil {
+		return EncodeResponse(out, StatusErr, []byte(err.Error()))
+	}
+	out = append(out, StatusOK)
+	if more {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.BigEndian.AppendUint64(out, next)
+	for _, pr := range pairs {
+		out = binary.BigEndian.AppendUint64(out, pr.K)
+		out = binary.BigEndian.AppendUint64(out, pr.V)
+	}
+	return out
 }
 
 // handleBatch executes one MGET/MPUT/MDEL. The ops are partitioned by

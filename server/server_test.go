@@ -20,6 +20,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpMGet, Keys: []uint64{1, 2, ^uint64(0)}},
 		{Op: OpMPut, Keys: []uint64{9, 8}, Vals: []uint64{90, 80}},
 		{Op: OpMDel, Keys: []uint64{5}},
+		{Op: OpScan, Key: 10, Val: ^uint64(0), Limit: 512, Cursor: 99},
 	}
 	for _, want := range cases {
 		p, err := EncodeRequest(nil, want)
@@ -48,6 +49,7 @@ func TestDecodeRequestRejectsGarbage(t *testing.T) {
 		{OpMGet, 1, 2, 3},                     // ragged batch payload
 		{OpMPut, 0, 0, 0, 0, 0, 0, 0, 0},      // MPUT key without value
 		append(oversized, make([]byte, 8)...), // MaxBatchOps + 1
+		append([]byte{OpScan}, make([]byte, 24)...), // SCAN missing its cursor field
 	} {
 		if _, err := DecodeRequest(p); err == nil {
 			t.Errorf("DecodeRequest(%v) accepted garbage", p[:min(len(p), 12)])

@@ -489,31 +489,52 @@ func (t *Tree) runIn(tx *pangolin.Tx, fn func(*w) error) (err error) {
 // stopping early if fn returns false. Reads are direct (pgl_get); do not
 // mutate the tree during iteration.
 func (t *Tree) Range(fn func(k, v uint64) bool) error {
+	return t.Scan(0, ^uint64(0), fn)
+}
+
+// Scan calls fn for every pair with lo <= k <= hi in ascending key
+// order, stopping early if fn returns false; subtrees entirely outside
+// the bounds are never read. It follows the kv.Map iteration contract:
+// a mid-scan read fault aborts the walk and returns its error, so a nil
+// return means fn saw every in-range pair it did not stop early of.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {
 		return err
 	}
-	_, err = t.walk(a.Root, fn)
+	_, err = t.scanWalk(a.Root, lo, hi, fn)
 	return err
 }
 
-func (t *Tree) walk(oid pangolin.OID, fn func(k, v uint64) bool) (bool, error) {
+func (t *Tree) scanWalk(oid pangolin.OID, lo, hi uint64, fn func(k, v uint64) bool) (bool, error) {
 	n, err := pangolin.GetFromPool[node](t.p, oid)
 	if err != nil {
 		return false, err
 	}
-	for i := 0; i < int(n.N); i++ {
+	// Items below i hold keys < lo, and so do their child subtrees;
+	// child i is the first that can reach [lo, hi].
+	i := 0
+	for i < int(n.N) && n.Items[i].Key < lo {
+		i++
+	}
+	for ; i < int(n.N); i++ {
 		if !n.leaf() {
-			if cont, err := t.walk(n.Children[i], fn); err != nil || !cont {
+			if cont, err := t.scanWalk(n.Children[i], lo, hi, fn); err != nil || !cont {
 				return cont, err
 			}
+		}
+		if n.Items[i].Key > hi {
+			return false, nil
 		}
 		if !fn(n.Items[i].Key, n.Items[i].Value) {
 			return false, nil
 		}
 	}
 	if !n.leaf() {
-		return t.walk(n.Children[n.N], fn)
+		return t.scanWalk(n.Children[n.N], lo, hi, fn)
 	}
 	return true, nil
 }

@@ -298,17 +298,31 @@ func (t *Tree) Len() (uint64, error) {
 // stopping early if fn returns false. Reads are direct (pgl_get); do not
 // mutate the tree during iteration.
 func (t *Tree) Range(fn func(k, v uint64) bool) error {
+	return t.Scan(0, ^uint64(0), fn)
+}
+
+// Scan calls fn for every pair with lo <= k <= hi in ascending key
+// order, stopping early if fn returns false. Internal crit-bit nodes do
+// not record their subtree's common prefix, so the walk cannot prune
+// below lo without extra leaf reads; it skips leaves under lo and stops
+// at the first leaf beyond hi (in-order, so nothing after it can
+// qualify). It follows the kv.Map iteration contract: a mid-scan read
+// fault aborts the walk and returns its error.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {
 		return err
 	}
-	_, err = t.walk(a.Root, fn)
+	_, err = t.scanWalk(a.Root, lo, hi, fn)
 	return err
 }
 
-// walk visits the subtree in order; crit-bit children are ordered by the
-// critical bit, so child 0 precedes child 1 in key order.
-func (t *Tree) walk(oid pangolin.OID, fn func(k, v uint64) bool) (bool, error) {
+// scanWalk visits the subtree in order; crit-bit children are ordered by
+// the critical bit, so child 0 precedes child 1 in key order.
+func (t *Tree) scanWalk(oid pangolin.OID, lo, hi uint64, fn func(k, v uint64) bool) (bool, error) {
 	if oid.IsNil() {
 		return true, nil
 	}
@@ -317,10 +331,16 @@ func (t *Tree) walk(oid pangolin.OID, fn func(k, v uint64) bool) (bool, error) {
 		return false, err
 	}
 	if n.Diff == leafDiff {
+		if n.Key < lo {
+			return true, nil
+		}
+		if n.Key > hi {
+			return false, nil
+		}
 		return fn(n.Key, n.Value), nil
 	}
 	for _, c := range n.Child {
-		cont, err := t.walk(c, fn)
+		cont, err := t.scanWalk(c, lo, hi, fn)
 		if err != nil || !cont {
 			return cont, err
 		}

@@ -332,6 +332,19 @@ func (m *Map) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
 // early if fn returns false. Reads are direct (pgl_get); do not mutate
 // the map during iteration.
 func (m *Map) Range(fn func(k, v uint64) bool) error {
+	return m.Scan(0, ^uint64(0), fn)
+}
+
+// Scan calls fn for every pair with lo <= k <= hi in unspecified order
+// (hash order gives no cheaper option than enumerating every chain and
+// filtering), stopping early if fn returns false. It is complete: every
+// in-range pair is visited unless fn stops early. It follows the kv.Map
+// iteration contract: a mid-scan read fault aborts the walk and returns
+// its error.
+func (m *Map) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
 	a, err := pangolin.GetFromPool[anchor](m.p, m.anchor)
 	if err != nil {
 		return err
@@ -348,8 +361,10 @@ func (m *Map) Range(fn func(k, v uint64) bool) error {
 			if err != nil {
 				return err
 			}
-			if !fn(e.Key, e.Value) {
-				return nil
+			if e.Key >= lo && e.Key <= hi {
+				if !fn(e.Key, e.Value) {
+					return nil
+				}
 			}
 			cur = e.Next
 		}

@@ -22,22 +22,37 @@ import "github.com/pangolin-go/pangolin"
 //
 // # Concurrent-read contract
 //
-// Every implementation's Lookup must be a pure read: no writes to the
-// pool, no mutation of the Map handle's own state. That makes a second
-// instance of the structure, attached to the pool's ReadView
-// (pangolin.Pool.ReadView), safe for concurrent Lookups from any number
-// of goroutines, provided the caller excludes transaction commits for
-// the duration of each Lookup (internal/shard's per-shard reader gate is
-// the canonical provider; a plain RWMutex — readers R-side around each
-// Lookup, writers W-side around each transaction — satisfies it too).
-// Under that discipline a concurrent Lookup observes either the
-// pre-image or the post-image of any in-flight transaction, never a torn
-// value: object bytes change only inside commits, and commits are
-// excluded. On a ReadView, faults surface as errors (including
-// pangolin.ErrReadBusy during freeze windows) instead of triggering
-// online recovery; the caller retries via the owner goroutine.
-// structures/kvtest's RunConcurrent suite enforces this contract for
-// every registered structure.
+// Every implementation's Lookup and Scan must be pure reads: no writes
+// to the pool, no mutation of the Map handle's own state. That makes a
+// second instance of the structure, attached to the pool's ReadView
+// (pangolin.Pool.ReadView), safe for concurrent Lookups and Scans from
+// any number of goroutines, provided the caller excludes transaction
+// commits for the duration of each call (internal/shard's per-shard
+// reader gate is the canonical provider; a plain RWMutex — readers
+// R-side around each Lookup or Scan, writers W-side around each
+// transaction — satisfies it too). Under that discipline a concurrent
+// read observes either the pre-image or the post-image of any in-flight
+// transaction, never a torn value: object bytes change only inside
+// commits, and commits are excluded. On a ReadView, faults surface as
+// errors (including pangolin.ErrReadBusy during freeze windows) instead
+// of triggering online recovery; the caller retries via the owner
+// goroutine. structures/kvtest's RunConcurrent suite enforces this
+// contract for every registered structure.
+//
+// # Iteration contract
+//
+// Scan visits every pair with lo <= k <= hi (bounds inclusive; an empty
+// range when lo > hi), calling fn once per pair until fn returns false
+// (early stop, not an error) or the range is exhausted. The five ordered
+// structures visit keys in strictly ascending order; hashmap visits them
+// in unspecified order but completely. A Scan must NEVER silently drop
+// pairs: any read failure mid-iteration aborts the walk and returns that
+// error, so a nil error from Scan means fn saw every in-range pair (up
+// to an early stop fn itself requested). On a ReadView instance the
+// error is typed and retryable — pangolin.ErrReadBusy for freeze
+// windows, *pangolin.CorruptionError (or a poison error) for faults that
+// need the owner path's online repair — never a partial iteration that
+// looks complete. Range is Scan over the full key space.
 type Map interface {
 	// Insert adds or updates a key in one transaction.
 	Insert(k, v uint64) error
@@ -45,6 +60,12 @@ type Map interface {
 	// without micro-buffering (pgl_get) and follow the concurrent-read
 	// contract above.
 	Lookup(k uint64) (uint64, bool, error)
+	// Scan calls fn for every pair with lo <= k <= hi, following the
+	// iteration contract above: ascending for the ordered structures,
+	// unordered but complete for hashmap, early-stopping when fn
+	// returns false, and surfacing any mid-scan read fault as an error.
+	// Scan is a pure read and follows the concurrent-read contract.
+	Scan(lo, hi uint64, fn func(k, v uint64) bool) error
 	// Remove deletes k, reporting whether it was present.
 	Remove(k uint64) (bool, error)
 	// InsertTx is Insert inside the caller's transaction. On error the

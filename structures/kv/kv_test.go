@@ -17,8 +17,27 @@ import (
 
 func harnessFor(s registry.Structure) kvtest.Harness {
 	return kvtest.Harness{
-		Make:   func(p *pangolin.Pool) (kv.Map, error) { return s.New(p) },
-		Attach: func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return s.Attach(p, a) },
+		Make:    func(p *pangolin.Pool) (kv.Map, error) { return s.New(p) },
+		Attach:  func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return s.Attach(p, a) },
+		Ordered: s.Ordered,
+	}
+}
+
+// TestRegistryStructuresScanContract enforces the kv.Map iteration
+// contract for every registered structure: inclusive bounds, ascending
+// order for the five ordered structures (unordered-but-complete for
+// hashmap), early stop, agreement with Range, and typed error
+// propagation when a ReadView scan crosses a fault mid-iteration.
+func TestRegistryStructuresScanContract(t *testing.T) {
+	for _, name := range registry.Names() {
+		s, err := registry.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			kvtest.RunScan(t, harnessFor(s), s.Ordered)
+		})
 	}
 }
 

@@ -24,30 +24,35 @@ import (
 
 // Structure describes one registered key-value structure.
 type Structure struct {
-	ID     uint64 // persisted in pool roots; never renumber
-	Name   string
-	New    func(*pangolin.Pool) (kv.Map, error)
-	Attach func(*pangolin.Pool, pangolin.OID) (kv.Map, error)
+	ID   uint64 // persisted in pool roots; never renumber
+	Name string
+	// Ordered reports that Scan visits keys in ascending order (the
+	// kv.Map iteration contract); hashmap scans unordered but complete,
+	// and scan consumers (internal/shard's chunked merge) select their
+	// strategy on this flag.
+	Ordered bool
+	New     func(*pangolin.Pool) (kv.Map, error)
+	Attach  func(*pangolin.Pool, pangolin.OID) (kv.Map, error)
 }
 
 // structures lists the six paper structures in Table 3 order.
 var structures = []Structure{
-	{1, "ctree",
+	{1, "ctree", true,
 		func(p *pangolin.Pool) (kv.Map, error) { return ctree.New(p) },
 		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return ctree.Attach(p, a) }},
-	{2, "rbtree",
+	{2, "rbtree", true,
 		func(p *pangolin.Pool) (kv.Map, error) { return rbtree.New(p) },
 		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return rbtree.Attach(p, a) }},
-	{3, "btree",
+	{3, "btree", true,
 		func(p *pangolin.Pool) (kv.Map, error) { return btree.New(p) },
 		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return btree.Attach(p, a) }},
-	{4, "skiplist",
+	{4, "skiplist", true,
 		func(p *pangolin.Pool) (kv.Map, error) { return skiplist.New(p) },
 		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return skiplist.Attach(p, a) }},
-	{5, "rtree",
+	{5, "rtree", true,
 		func(p *pangolin.Pool) (kv.Map, error) { return rtree.New(p) },
 		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return rtree.Attach(p, a) }},
-	{6, "hashmap",
+	{6, "hashmap", false,
 		func(p *pangolin.Pool) (kv.Map, error) { return hashmap.New(p) },
 		func(p *pangolin.Pool, a pangolin.OID) (kv.Map, error) { return hashmap.Attach(p, a) }},
 }

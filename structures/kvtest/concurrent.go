@@ -24,6 +24,7 @@ func RunConcurrent(t *testing.T, h Harness) {
 	t.Run("PrePostImage", func(t *testing.T) { testConcurrentPrePost(t, h) })
 	t.Run("RemoveInsertChurn", func(t *testing.T) { testConcurrentChurn(t, h) })
 	t.Run("ViewFaultNotRepaired", func(t *testing.T) { testViewFault(t, h) })
+	t.Run("ScanStorm", func(t *testing.T) { testConcurrentScanStorm(t, h) })
 }
 
 // concVal encodes a generation and key into one value so a torn or
@@ -244,3 +245,128 @@ func testViewFault(t *testing.T, h Harness) {
 }
 
 func errReadf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// testConcurrentScanStorm: a writer commits whole-generation updates
+// (one transaction rewrites every key) while gated readers storm
+// ReadView Scans over random subranges. Because each scan runs under one
+// gate hold, it observes exactly one committed image: every pair must
+// decode to a valid (gen, key) value (no torn pairs), all pairs in one
+// scan must carry the SAME generation (a pre- or post-image, never a mix),
+// keys must ascend when the structure is ordered (no order regressions),
+// bounds must hold, full-range scans must be complete, and per reader
+// the observed generation never goes backwards.
+func testConcurrentScanStorm(t *testing.T, h Harness) {
+	keys, gens, readers := concSizes()
+	p, m, rom := makeWithView(t, h, keys)
+
+	var gate sync.RWMutex
+	committedGen := uint64(0)
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 900))
+			lastGen := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Alternate full-range scans (completeness check) with
+				// random subranges (bounds check).
+				lo, hi := uint64(0), keys-1
+				full := rng.Intn(2) == 0
+				if !full {
+					lo = rng.Uint64() % keys
+					hi = lo + rng.Uint64()%(keys-lo)
+				}
+				var pairs []struct{ k, v uint64 }
+				gate.RLock()
+				err := rom.Scan(lo, hi, func(k, v uint64) bool {
+					pairs = append(pairs, struct{ k, v uint64 }{k, v})
+					return true
+				})
+				bound := committedGen
+				gate.RUnlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if uint64(len(pairs)) != hi-lo+1 {
+					errs <- errReadf("reader %d: scan [%d,%d] yielded %d pairs, want %d", r, lo, hi, len(pairs), hi-lo+1)
+					return
+				}
+				scanGen := ^uint64(0)
+				seen := make(map[uint64]bool, len(pairs))
+				for i, pr := range pairs {
+					if pr.k < lo || pr.k > hi {
+						errs <- errReadf("reader %d: scan [%d,%d] yielded out-of-bounds key %d", r, lo, hi, pr.k)
+						return
+					}
+					if seen[pr.k] {
+						errs <- errReadf("reader %d: scan [%d,%d] yielded key %d twice", r, lo, hi, pr.k)
+						return
+					}
+					seen[pr.k] = true
+					if h.Ordered && i > 0 && pr.k <= pairs[i-1].k {
+						errs <- errReadf("reader %d: scan order regressed: %d after %d", r, pr.k, pairs[i-1].k)
+						return
+					}
+					if pr.v&0xFFFFFFFF != pr.k {
+						errs <- errReadf("reader %d: key %d torn value %#x", r, pr.k, pr.v)
+						return
+					}
+					g := pr.v >> 32
+					if scanGen == ^uint64(0) {
+						scanGen = g
+					} else if g != scanGen {
+						errs <- errReadf("reader %d: scan mixed generations %d and %d (neither pre- nor post-image)", r, scanGen, g)
+						return
+					}
+					if g > bound {
+						errs <- errReadf("reader %d: key %d gen %d beyond committed %d", r, pr.k, g, bound)
+						return
+					}
+				}
+				if len(pairs) > 0 {
+					if scanGen < lastGen {
+						errs <- errReadf("reader %d: scan went backwards: gen %d after %d", r, scanGen, lastGen)
+						return
+					}
+					lastGen = scanGen
+				}
+			}
+		}(r)
+	}
+
+	for gen := uint64(1); gen <= gens; gen++ {
+		gate.Lock()
+		err := p.Run(func(tx *pangolin.Tx) error {
+			for k := uint64(0); k < keys; k++ {
+				if err := m.InsertTx(tx, k, concVal(gen, k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			committedGen = gen
+		}
+		gate.Unlock()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("gen %d commit: %v", gen, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

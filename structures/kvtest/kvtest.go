@@ -18,6 +18,9 @@ type Harness struct {
 	Make func(p *pangolin.Pool) (kv.Map, error)
 	// Attach reconnects to an existing structure after reopen.
 	Attach func(p *pangolin.Pool, anchor pangolin.OID) (kv.Map, error)
+	// Ordered declares that Scan visits keys ascending (registry's
+	// Ordered flag); the scan suites assert order only when set.
+	Ordered bool
 }
 
 // testGeometry sizes pools for the large-object structures (rtree nodes

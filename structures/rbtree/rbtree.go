@@ -556,15 +556,26 @@ func (t *Tree) validate(oid pangolin.OID, lo, hi uint64) (int, error) {
 // stopping early if fn returns false. Reads are direct (pgl_get); do not
 // mutate the tree during iteration.
 func (t *Tree) Range(fn func(k, v uint64) bool) error {
+	return t.Scan(0, ^uint64(0), fn)
+}
+
+// Scan calls fn for every pair with lo <= k <= hi in ascending key
+// order, stopping early if fn returns false; subtrees entirely outside
+// the bounds are never read. It follows the kv.Map iteration contract:
+// a mid-scan read fault aborts the walk and returns its error.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {
 		return err
 	}
-	_, err = t.walkInOrder(a.Root, fn)
+	_, err = t.scanInOrder(a.Root, lo, hi, fn)
 	return err
 }
 
-func (t *Tree) walkInOrder(oid pangolin.OID, fn func(k, v uint64) bool) (bool, error) {
+func (t *Tree) scanInOrder(oid pangolin.OID, lo, hi uint64, fn func(k, v uint64) bool) (bool, error) {
 	if oid == t.sentinel {
 		return true, nil
 	}
@@ -572,11 +583,20 @@ func (t *Tree) walkInOrder(oid pangolin.OID, fn func(k, v uint64) bool) (bool, e
 	if err != nil {
 		return false, err
 	}
-	if cont, err := t.walkInOrder(n.Left, fn); err != nil || !cont {
-		return cont, err
+	// The left subtree holds keys < n.Key: worth visiting only when
+	// n.Key > lo; symmetrically the right subtree only when n.Key < hi.
+	if n.Key > lo {
+		if cont, err := t.scanInOrder(n.Left, lo, hi, fn); err != nil || !cont {
+			return cont, err
+		}
 	}
-	if !fn(n.Key, n.Value) {
-		return false, nil
+	if n.Key >= lo && n.Key <= hi {
+		if !fn(n.Key, n.Value) {
+			return false, nil
+		}
 	}
-	return t.walkInOrder(n.Right, fn)
+	if n.Key >= hi {
+		return true, nil
+	}
+	return t.scanInOrder(n.Right, lo, hi, fn)
 }

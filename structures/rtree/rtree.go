@@ -282,15 +282,28 @@ func (t *Tree) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
 // children visited byte-ascending), stopping early if fn returns false.
 // Reads are direct (pgl_get); do not mutate the tree during iteration.
 func (t *Tree) Range(fn func(k, v uint64) bool) error {
+	return t.Scan(0, ^uint64(0), fn)
+}
+
+// Scan calls fn for every pair with lo <= k <= hi in ascending key
+// order, stopping early if fn returns false. A child at depth d spans
+// the fixed key interval [prefix, prefix|mask] (keys are consumed one
+// byte per level), so subtrees entirely outside the bounds are pruned
+// without being read. It follows the kv.Map iteration contract: a
+// mid-scan read fault aborts the walk and returns its error.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
 	a, err := pangolin.GetFromPool[anchor](t.p, t.anchor)
 	if err != nil {
 		return err
 	}
-	_, err = t.walk(a.Root, 0, 0, fn)
+	_, err = t.scanWalk(a.Root, 0, 0, lo, hi, fn)
 	return err
 }
 
-func (t *Tree) walk(oid pangolin.OID, d int, prefix uint64, fn func(k, v uint64) bool) (bool, error) {
+func (t *Tree) scanWalk(oid pangolin.OID, d int, prefix, lo, hi uint64, fn func(k, v uint64) bool) (bool, error) {
 	n, err := pangolin.GetFromPool[node](t.p, oid)
 	if err != nil {
 		return false, err
@@ -301,13 +314,22 @@ func (t *Tree) walk(oid pangolin.OID, d int, prefix uint64, fn func(k, v uint64)
 		}
 		return fn(prefix, n.Value), nil
 	}
+	// The subtree under child b spans exactly [next, next|mask]: the
+	// remaining depth-d-1 … 0 bytes are free below it.
+	mask := uint64(1)<<(56-8*d) - 1
 	for b := 0; b < fanout; b++ {
 		c := n.Children[b]
 		if c.IsNil() {
 			continue
 		}
 		next := prefix | uint64(b)<<(56-8*d)
-		if cont, err := t.walk(c, d+1, next, fn); err != nil || !cont {
+		if next > hi {
+			return false, nil // children ascend; nothing further qualifies
+		}
+		if next|mask < lo {
+			continue
+		}
+		if cont, err := t.scanWalk(c, d+1, next, lo, hi, fn); err != nil || !cont {
 			return cont, err
 		}
 	}

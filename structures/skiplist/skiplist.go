@@ -92,6 +92,30 @@ func (l *List) randLevel() uint64 {
 	return lv
 }
 
+// seek descends the tower pointers to the last node (possibly the head
+// sentinel) whose key is strictly below k: seek(k).Next[0] is the first
+// node with key >= k. Direct, pure reads (the concurrent-read contract);
+// shared by Lookup and Scan.
+func (l *List) seek(head pangolin.OID, k uint64) (*node, error) {
+	cur, err := pangolin.GetFromPool[node](l.p, head)
+	if err != nil {
+		return nil, err
+	}
+	for lv := maxLevel - 1; lv >= 0; lv-- {
+		for !cur.Next[lv].IsNil() {
+			nxt, err := pangolin.GetFromPool[node](l.p, cur.Next[lv])
+			if err != nil {
+				return nil, err
+			}
+			if nxt.Key >= k {
+				break
+			}
+			cur = nxt
+		}
+	}
+	return cur, nil
+}
+
 // Lookup finds k with direct reads. It is a pure read (no pool writes,
 // no handle state), honoring the kv.Map concurrent-read contract: on a
 // ReadView instance it may run concurrently with other Lookups, gated
@@ -101,21 +125,9 @@ func (l *List) Lookup(k uint64) (uint64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	cur, err := pangolin.GetFromPool[node](l.p, a.Head)
+	cur, err := l.seek(a.Head, k)
 	if err != nil {
 		return 0, false, err
-	}
-	for lv := maxLevel - 1; lv >= 0; lv-- {
-		for !cur.Next[lv].IsNil() {
-			nxt, err := pangolin.GetFromPool[node](l.p, cur.Next[lv])
-			if err != nil {
-				return 0, false, err
-			}
-			if nxt.Key >= k {
-				break
-			}
-			cur = nxt
-		}
 	}
 	if cur.Next[0].IsNil() {
 		return 0, false, nil
@@ -315,24 +327,40 @@ func (l *List) RemoveTx(tx *pangolin.Tx, k uint64) (bool, error) {
 // level-0 chain), stopping early if fn returns false. Reads are direct
 // (pgl_get); do not mutate the list during iteration.
 func (l *List) Range(fn func(k, v uint64) bool) error {
+	return l.Scan(0, ^uint64(0), fn)
+}
+
+// Scan calls fn for every pair with lo <= k <= hi in ascending key
+// order, stopping early if fn returns false. The tower pointers locate
+// the first key >= lo without touching the chain below it, then the
+// level-0 chain is followed until a key exceeds hi. It follows the
+// kv.Map iteration contract: a mid-scan read fault aborts the walk and
+// returns its error.
+func (l *List) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
 	a, err := pangolin.GetFromPool[anchor](l.p, l.anchor)
 	if err != nil {
 		return err
 	}
-	head, err := pangolin.GetFromPool[node](l.p, a.Head)
+	cur, err := l.seek(a.Head, lo)
 	if err != nil {
 		return err
 	}
-	cur := head.Next[0]
-	for !cur.IsNil() {
-		n, err := pangolin.GetFromPool[node](l.p, cur)
+	oid := cur.Next[0]
+	for !oid.IsNil() {
+		n, err := pangolin.GetFromPool[node](l.p, oid)
 		if err != nil {
 			return err
+		}
+		if n.Key > hi {
+			return nil
 		}
 		if !fn(n.Key, n.Value) {
 			return nil
 		}
-		cur = n.Next[0]
+		oid = n.Next[0]
 	}
 	return nil
 }
