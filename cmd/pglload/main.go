@@ -24,7 +24,13 @@
 // frames, exercising the server's group-commit path; reported ops and
 // ops/sec still count individual operations, while the latency
 // percentiles describe whole round trips (one frame at -batch 1, one
-// batch otherwise). With -crash-after the run ends by sending CRASH,
+// batch otherwise). With -faults N the run doubles as the
+// corruption-healing gate: a side connection INJECTs N live faults
+// while the load runs, a few more after it stops (so a read can't heal
+// everything first), and the run exits nonzero unless the server's
+// background scrubber (pglserve -scrub-interval) reports bg_repairs > 0
+// within -heal-wait — injected corruption healed under live traffic
+// with zero client-visible errors. With -crash-after the run ends by sending CRASH,
 // killing the server after it writes per-shard crash images; `pglpool
 // check <dir>/shard-*.pgl` then verifies every recovered shard.
 package main
@@ -69,6 +75,13 @@ type report struct {
 	Mix           map[string]uint64 `json:"mix"`
 	Server        *server.Stats     `json:"server_stats,omitempty"`
 	CrashSent     bool              `json:"crash_sent"`
+	// Corruption-healing accounting (with -faults): how many live
+	// objects INJECT corrupted during and after the load, and whether
+	// the server's background scrubber reported bg_repairs > 0 within
+	// -heal-wait afterwards. A -faults run exits nonzero when Healed is
+	// false — the corruption-healing gate.
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+	Healed         bool   `json:"healed,omitempty"`
 }
 
 func main() {
@@ -83,6 +96,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	batch := flag.Int("batch", 1, "operations per client frame (1 = single-op GET/PUT/DEL, >1 = MGET/MPUT/MDEL)")
 	crashAfter := flag.Bool("crash-after", false, "send CRASH when done (server dies with crash images)")
+	faults := flag.Int("faults", 0, "live faults to INJECT while the load runs (corruption-healing phase); the run then waits for the server's background scrubber to report bg_repairs > 0")
+	faultEvery := flag.Duration("fault-every", 50*time.Millisecond, "pause between INJECT frames")
+	healWait := flag.Duration("heal-wait", 15*time.Second, "how long to wait, after the load, for bg_repairs > 0 (with -faults)")
 	flag.Parse()
 	if *reads+*dels+*scans > 1 {
 		log.Fatal("pglload: -reads + -dels + -scans exceed 1")
@@ -109,6 +125,40 @@ func main() {
 	)
 	latencies := make([][]time.Duration, *clients)
 	var wg sync.WaitGroup
+
+	// Fault injector (with -faults): a side connection corrupts live
+	// objects while the load runs, so the server's background scrubber
+	// has to heal corruption racing real traffic. INJECT alternates
+	// scribbles and media-error poison by seed parity.
+	var faultsInjected atomic.Uint64
+	stopInject := make(chan struct{})
+	var injectWG sync.WaitGroup
+	if *faults > 0 {
+		injectWG.Add(1)
+		go func() {
+			defer injectWG.Done()
+			c, err := server.Dial(*addr)
+			if err != nil {
+				log.Printf("pglload: fault injector: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < *faults; i++ {
+				select {
+				case <-stopInject:
+					return
+				case <-time.After(*faultEvery):
+				}
+				n, err := c.Inject(*seed+int64(i), 1)
+				if err != nil {
+					log.Printf("pglload: inject: %v", err)
+					return
+				}
+				faultsInjected.Add(n)
+			}
+		}()
+	}
+
 	start := time.Now()
 	for id := 0; id < *clients; id++ {
 		wg.Add(1)
@@ -210,6 +260,8 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(stopInject)
+	injectWG.Wait()
 
 	all := make([]time.Duration, 0, *ops)
 	for _, l := range latencies {
@@ -242,10 +294,44 @@ func main() {
 			Max: pct(1),
 		},
 		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load(), "scan": scanOps.Load()},
+		// Set before the post-run dial: a failed stats connection must
+		// not misreport the injections that already happened as zero.
+		FaultsInjected: faultsInjected.Load(),
 	}
 
 	// Fetch server-side stats, and optionally send the simulated crash.
 	if c, err := server.Dial(*addr); err == nil {
+		if *faults > 0 {
+			// Post-load faults are the deterministic part of the gate:
+			// with the traffic stopped, only the background scrubber can
+			// heal them — a read repairing everything first can no
+			// longer mask a dead scheduler. The gate requires bg_repairs
+			// to INCREASE past its pre-injection value, so repairs the
+			// scheduler made during the load (before wedging) cannot
+			// satisfy it either.
+			base := uint64(0)
+			if st, err := c.Scrub(false); err == nil {
+				base = st.Health.BgRepairs
+			}
+			for i := 0; i < 4; i++ {
+				if n, err := c.Inject(*seed+int64(*faults)+int64(i), 1); err == nil {
+					faultsInjected.Add(n)
+				}
+			}
+			rep.FaultsInjected = faultsInjected.Load()
+			deadline := time.Now().Add(*healWait)
+			for {
+				st, err := c.Scrub(false)
+				if err == nil && st.Health.BgRepairs > base {
+					rep.Healed = true
+					break
+				}
+				if time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
+		}
 		if st, err := c.Stats(); err == nil {
 			rep.Server = &st
 		}
@@ -266,6 +352,11 @@ func main() {
 	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "pglload: %d errors\n", rep.Errors)
+		os.Exit(1)
+	}
+	if *faults > 0 && !rep.Healed {
+		fmt.Fprintf(os.Stderr, "pglload: background scrubber never reported bg_repairs > 0 (injected %d faults)\n",
+			rep.FaultsInjected)
 		os.Exit(1)
 	}
 }

@@ -136,13 +136,19 @@ func check(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scrub: %d objects, %d bad, %d repaired, %d unrecovered, %d parity fixes, %d pages healed\n",
-		rep.Objects, rep.BadObjects, rep.Repaired, rep.Unrecovered, rep.ParityFixes, rep.PagesHealed)
+	// "0 bad objects" in a checksum-less mode means "not checked", not
+	// "verified clean" — say which one this is.
+	verified := "checksums verified"
+	if !rep.ChecksumsVerified {
+		verified = fmt.Sprintf("checksums NOT verified (mode %v maintains none)", mode)
+	}
+	fmt.Printf("scrub: %d objects, %d bad, %d repaired, %d unrecovered, %d parity fixes, %d pages healed, %d pages unrecoverable, %s\n",
+		rep.Objects, rep.BadObjects, rep.Repaired, rep.Unrecovered, rep.ParityFixes, rep.PagesHealed, rep.PagesUnrecovered, verified)
 	if err := p.SaveFile(args[0]); err != nil {
 		return err
 	}
-	if rep.Unrecovered > 0 {
-		return fmt.Errorf("%d objects unrecoverable", rep.Unrecovered)
+	if rep.Unrecovered > 0 || rep.PagesUnrecovered > 0 {
+		return fmt.Errorf("%d objects and %d pages unrecoverable", rep.Unrecovered, rep.PagesUnrecovered)
 	}
 	return nil
 }

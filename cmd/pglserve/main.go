@@ -10,7 +10,14 @@
 // connection handlers' goroutines, no worker hop) unless -serial-reads
 // forces the old worker-serialized read path — scripts/loadtest.sh uses
 // that switch to A/B the two, and STATS reports fast_gets/fast_fallbacks
-// so either run can prove which path served it. On SIGINT/SIGTERM the
+// so either run can prove which path served it. With -scrub-interval the
+// background maintenance scheduler runs: every interval one shard
+// executes one bounded scrub step (skipped while the shard is busy —
+// traffic always wins), so injected or latent corruption is found and
+// repaired while the server keeps serving; STATS and the SCRUB op report
+// scrub_steps/bg_repairs/scrub_backoffs/last_full_pass_unix, and
+// scripts/loadtest.sh's corruption phase gates on the scheduler healing
+// live injected faults with zero client errors. On SIGINT/SIGTERM the
 // server syncs every shard snapshot and exits cleanly. A CRASH request
 // instead makes the process die abruptly after writing per-shard crash
 // images — the hook the load generator uses to exercise recovery.
@@ -48,6 +55,8 @@ func main() {
 	zones := flag.Uint64("zones", 8, "zones per shard pool when creating (capacity)")
 	serialReads := flag.Bool("serial-reads", false,
 		"route every GET through the shard worker (disable the concurrent verified-read fast path); for A/B measurement")
+	scrubInterval := flag.Duration("scrub-interval", 0,
+		"background maintenance cadence: every interval one shard (round-robin) runs one bounded scrub step, skipped while that shard is busy; 0 disables (scrub then runs only on SCRUB requests)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pglserve: -dir is required")
@@ -61,10 +70,11 @@ func main() {
 	// names with a naming error) instead of silently serving another
 	// mode.
 	opts := shard.Options{
-		Structure:   *structure,
-		Mode:        *mode,
-		Pangolin:    pangolin.Config{Geometry: geo},
-		SerialReads: *serialReads,
+		Structure:     *structure,
+		Mode:          *mode,
+		Pangolin:      pangolin.Config{Geometry: geo},
+		SerialReads:   *serialReads,
+		ScrubInterval: *scrubInterval,
 	}
 
 	var set *shard.Set
@@ -85,11 +95,12 @@ func main() {
 		log.Fatalf("pglserve: %v", err)
 	}
 	json.NewEncoder(os.Stdout).Encode(map[string]any{
-		"addr":         srv.Addr().String(),
-		"shards":       set.Len(),
-		"structure":    set.Structure(),
-		"recovered":    recovered,
-		"serial_reads": *serialReads,
+		"addr":           srv.Addr().String(),
+		"shards":         set.Len(),
+		"structure":      set.Structure(),
+		"recovered":      recovered,
+		"serial_reads":   *serialReads,
+		"scrub_interval": scrubInterval.String(),
 	})
 
 	serveDone := make(chan error, 1)

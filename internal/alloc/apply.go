@@ -203,22 +203,46 @@ type ObjectInfo struct {
 // not reported. The caller must ensure no concurrent commits (the engine
 // runs this under its freeze/scrub quiescence).
 func (a *Allocator) Objects(fn func(ObjectInfo) bool) {
+	a.ObjectsFrom(0, fn)
+}
+
+// ObjectsFrom is Objects restricted to objects with Base > after: the
+// resumable form an incremental scrub cursor needs. Zones and chunks
+// wholly below the cursor are skipped by address arithmetic — never by
+// visiting their slots — so resuming deep into a large heap costs
+// O(chunks skipped), not O(objects skipped), and each scrub step's
+// freeze window stays proportional to its own cap.
+func (a *Allocator) ObjectsFrom(after uint64, fn func(ObjectInfo) bool) {
 	for z := uint64(0); z < a.geo.NumZones; z++ {
+		// Skip zones wholly below the cursor (conservative: computed
+		// from the geometry's full chunk span, no per-zone state read).
+		if n := a.geo.ChunksPerZone(); n > 0 {
+			if a.geo.ChunkBase(z, n-1)+a.geo.ChunkSize <= after {
+				continue
+			}
+		}
 		zs := a.zones[z]
 		zs.mu.Lock()
 		for c := uint64(0); c < uint64(len(zs.chunks)); c++ {
+			base := a.geo.ChunkBase(z, c)
 			e := zs.chunks[c].entry
 			switch e.State {
 			case ChunkRun:
+				if base+a.geo.ChunkSize <= after {
+					continue // every slot base in this chunk is <= after
+				}
 				slots := e.Slots(a.geo.ChunkSize)
 				for s := uint32(0); s < slots; s++ {
 					if !e.Bit(s) {
 						continue
 					}
 					info := ObjectInfo{
-						Base:     a.geo.ChunkBase(z, c) + uint64(s)*uint64(e.Aux),
+						Base:     base + uint64(s)*uint64(e.Aux),
 						Capacity: uint64(e.Aux),
 						Zone:     z,
+					}
+					if info.Base <= after {
+						continue
 					}
 					if !fn(info) {
 						zs.mu.Unlock()
@@ -226,8 +250,11 @@ func (a *Allocator) Objects(fn func(ObjectInfo) bool) {
 					}
 				}
 			case ChunkUsedFirst:
+				if base <= after {
+					continue
+				}
 				info := ObjectInfo{
-					Base:     a.geo.ChunkBase(z, c),
+					Base:     base,
 					Capacity: uint64(e.Aux) * a.geo.ChunkSize,
 					Zone:     z,
 				}

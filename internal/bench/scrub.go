@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/internal/shard"
+)
+
+// Scrub measures the incremental maintenance subsystem: the cost of one
+// bounded scrub step across step-size caps (the freeze window a step
+// imposes on the pool), and what running the background scheduler does
+// to commit latency on a loaded shard set — commit p99 with the
+// scrubber off vs on. The step-latency table is the bound the docs
+// promise ("each step's freeze window is bounded by the per-step
+// caps"); the p99 table is the MTTR-vs-overhead trade an operator tunes
+// with pglserve -scrub-interval.
+func Scrub(w io.Writer, cfg Config) error {
+	if err := scrubStepLatency(w, cfg); err != nil {
+		return err
+	}
+	return scrubCommitImpact(w, cfg)
+}
+
+// scrubStepLatency populates one pool, injects scattered corruption,
+// and steps a scrubber through full passes, reporting per-step latency
+// percentiles for several step-size caps.
+func scrubStepLatency(w io.Writer, cfg Config) error {
+	t := &Table{Header: []string{"objs/step", "steps/pass", "step p50", "step p99", "step max", "repaired"}}
+	for _, objsPerStep := range []int{16, 64, 256} {
+		pool, err := newPool(pangolin.ModePangolinMLPC, geoFor(64<<20), pangolin.VerifyDefault, 0)
+		if err != nil {
+			return err
+		}
+		nObjs := cfg.KVOps / 4
+		if nObjs < 256 {
+			nObjs = 256
+		}
+		oids := make([]pangolin.OID, 0, nObjs)
+		for i := 0; i < nObjs; i++ {
+			err := pool.Run(func(tx *pangolin.Tx) error {
+				oid, _, err := tx.Alloc(64, 1)
+				if err == nil {
+					oids = append(oids, oid)
+				}
+				return err
+			})
+			if err != nil {
+				pool.Close()
+				return err
+			}
+		}
+		// Scatter corruption: 1 in 64 objects scribbled.
+		for i := 0; i < len(oids); i += 64 {
+			pool.InjectRandomFault(int64(i) * 2) // even: scribble
+		}
+		sc := pool.NewScrubber(pangolin.ScrubberConfig{MaxObjectsPerStep: objsPerStep})
+		var lats []time.Duration
+		total := pangolin.ScrubReport{ChecksumsVerified: true}
+		steps := 0
+		for {
+			t0 := time.Now()
+			rep, done, err := sc.Step()
+			lats = append(lats, time.Since(t0))
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			total.Add(rep)
+			steps++
+			if done {
+				break
+			}
+		}
+		pool.Close()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)))
+			if i >= len(lats) {
+				i = len(lats) - 1
+			}
+			return lats[i]
+		}
+		t.Add(fmt.Sprintf("%d", objsPerStep), fmt.Sprintf("%d", steps),
+			pct(0.50).String(), pct(0.99).String(), pct(1).String(),
+			fmt.Sprintf("%d", total.Fixed()))
+	}
+	fmt.Fprintf(w, "\nIncremental scrub — per-step freeze window by step cap (%d-object pool, 1/64 corrupted)\n", max(cfg.KVOps/4, 256))
+	t.Print(w)
+	return nil
+}
+
+// scrubCommitImpact runs a put-heavy closed loop against a shard.Set
+// with the maintenance scheduler off vs on, reporting commit p99: the
+// client-visible cost of scrubbing between group commits.
+func scrubCommitImpact(w io.Writer, cfg Config) error {
+	t := &Table{Header: []string{"scrubber", "ops/s", "p50", "p99", "scrub_steps", "bg_repairs", "backoffs"}}
+	for _, on := range []bool{false, true} {
+		dir, err := os.MkdirTemp("", "pgl-scrubbench")
+		if err != nil {
+			return err
+		}
+		opts := shard.Options{}
+		if on {
+			opts.ScrubInterval = time.Millisecond
+		}
+		s, err := shard.Create(dir, 4, opts)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		var claimed atomic.Int64
+		lats := make([]time.Duration, 0, cfg.KVOps)
+		latc := make(chan []time.Duration, 4)
+		errc := make(chan error, 4)
+		start := time.Now()
+		for g := 0; g < 4; g++ {
+			go func(g int) {
+				mine := make([]time.Duration, 0, cfg.KVOps/4+1)
+				k := uint64(g) * 7919
+				for {
+					if claimed.Add(1) > int64(cfg.KVOps) {
+						break
+					}
+					k = k*2654435761 + 1
+					t0 := time.Now()
+					if err := s.Put(k%(1<<14), k); err != nil {
+						errc <- err
+						break
+					}
+					mine = append(mine, time.Since(t0))
+				}
+				latc <- mine
+			}(g)
+		}
+		for g := 0; g < 4; g++ {
+			lats = append(lats, <-latc...)
+		}
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			s.Abandon()
+			os.RemoveAll(dir)
+			return err
+		default:
+		}
+		st := s.Stats()
+		s.Abandon()
+		os.RemoveAll(dir)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)))
+			if i >= len(lats) {
+				i = len(lats) - 1
+			}
+			return lats[i]
+		}
+		name := "off"
+		if on {
+			name = "on (1ms)"
+		}
+		t.Add(name, fmt.Sprintf("%.0f", float64(len(lats))/elapsed.Seconds()),
+			pct(0.50).String(), pct(0.99).String(),
+			fmt.Sprintf("%d", st.ScrubSteps), fmt.Sprintf("%d", st.BgRepairs),
+			fmt.Sprintf("%d", st.ScrubBackoffs))
+	}
+	fmt.Fprintf(w, "\nCommit latency with the maintenance scheduler off vs on (4 shards, 4 writers, %d puts)\n", cfg.KVOps)
+	t.Print(w)
+	return nil
+}

@@ -32,7 +32,8 @@ type Stats struct {
 	Aborts     atomic.Uint64
 	EmptyTxs   atomic.Uint64
 	Recovered  atomic.Uint64 // pages repaired online
-	ScrubRuns  atomic.Uint64
+	ScrubRuns  atomic.Uint64 // full scrub passes completed
+	ScrubSteps atomic.Uint64 // incremental scrub steps executed
 	ScrubFixed atomic.Uint64
 
 	LoggedBytes atomic.Uint64
@@ -127,12 +128,7 @@ const modClockSlots = 1 << 13
 // modSlot hashes an object offset into the clock table (splitmix64
 // finalizer: neighboring slots must not collide systematically).
 func modSlot(off uint64) uint64 {
-	off ^= off >> 30
-	off *= 0xbf58476d1ce4e5b9
-	off ^= off >> 27
-	off *= 0x94d049bb133111eb
-	off ^= off >> 31
-	return off & (modClockSlots - 1)
+	return mix64(off) & (modClockSlots - 1)
 }
 
 // noteModified records that the object at off is modified by the commit

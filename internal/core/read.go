@@ -24,17 +24,25 @@ func (e *CorruptionError) Error() string {
 // never mutate the pool). The header is validated against the allocator's
 // record of the slot so a corrupted size field cannot cause out-of-bounds
 // reads.
+//
+// The pre-read OID sanity failures are typed *CorruptionError: a live
+// pool never hands out such an OID, so reaching here with one means the
+// caller followed a corrupted pointer (a scribbled structure node read
+// without verification — the Table 4 window) — typing it lets owner
+// paths distinguish "scrub and retry" from resource errors. They are
+// returned directly, never routed into page repair: the garbage OID
+// names no page worth rebuilding.
 func (e *Engine) readHeaderChecked(oid layout.OID, repair bool) (layout.ObjHeader, error) {
 	if oid.IsNil() || oid.Pool != e.uuid {
-		return layout.ObjHeader{}, fmt.Errorf("core: invalid OID %+v for this pool", oid)
+		return layout.ObjHeader{}, &CorruptionError{OID: oid, Reason: "invalid OID for this pool"}
 	}
 	hoff := oid.HeaderOff()
 	if !e.geo.InZoneData(hoff) {
-		return layout.ObjHeader{}, fmt.Errorf("core: OID %#x outside zone data", oid.Off)
+		return layout.ObjHeader{}, &CorruptionError{OID: oid, Reason: "OID outside zone data"}
 	}
 	cap_, err := e.heap.SlotSizeOf(hoff)
 	if err != nil {
-		return layout.ObjHeader{}, fmt.Errorf("core: OID %#x: %w", oid.Off, err)
+		return layout.ObjHeader{}, &CorruptionError{OID: oid, Reason: err.Error()}
 	}
 	var hb [layout.ObjHeaderSize]byte
 	for attempt := 0; ; attempt++ {

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/pangolin-go/pangolin/internal/alloc"
+	"github.com/pangolin-go/pangolin/internal/layout"
+)
+
+// allocN allocates n 128-byte objects with recognizable contents.
+func allocN(t *testing.T, e *Engine, n int) []layout.OID {
+	t.Helper()
+	oids := make([]layout.OID, 0, n)
+	for i := 0; i < n; i++ {
+		if err := e.Run(func(tx *Tx) error {
+			oid, data, err := tx.Alloc(128, 1)
+			if err != nil {
+				return err
+			}
+			copy(data, "scrub target")
+			oids = append(oids, oid)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return oids
+}
+
+func checkRestored(t *testing.T, e *Engine, oids []layout.OID) {
+	t.Helper()
+	for _, oid := range oids {
+		got, err := e.Get(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[:12]) != "scrub target" {
+			t.Fatalf("object %#x not restored: %q", oid.Off, got[:12])
+		}
+	}
+}
+
+// TestScrubberStepBounds: every step examines at most the configured
+// object cap (the freeze-window bound), the pass covers every live
+// object exactly once, and the pass completes as a finite sequence of
+// steps.
+func TestScrubberStepBounds(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+	const n, cap_ = 300, 32
+	allocN(t, e, n)
+	sc := e.NewScrubber(ScrubberConfig{MaxObjectsPerStep: cap_})
+	totalObjs, steps := 0, 0
+	for {
+		rep, done, err := sc.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Objects > cap_ {
+			t.Fatalf("step examined %d objects, cap %d", rep.Objects, cap_)
+		}
+		totalObjs += rep.Objects
+		steps++
+		if steps > 10*n {
+			t.Fatal("pass never completed")
+		}
+		if done {
+			break
+		}
+	}
+	// The pass covers every live object (plus the two roots the engine
+	// itself may hold) exactly once.
+	if totalObjs < n || totalObjs > n+4 {
+		t.Fatalf("pass examined %d objects, want ~%d", totalObjs, n)
+	}
+	if sc.Passes() != 1 {
+		t.Fatalf("passes = %d, want 1", sc.Passes())
+	}
+	if e.stats.ScrubSteps.Load() != uint64(steps) {
+		t.Fatalf("stats.ScrubSteps = %d, want %d", e.stats.ScrubSteps.Load(), steps)
+	}
+}
+
+// TestScrubberHealsAcrossSteps: corruption is repaired by the fixpoint
+// of bounded steps, with transactions committing between steps — the
+// online property the old stop-the-world pass could not offer.
+func TestScrubberHealsAcrossSteps(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+	oids := allocN(t, e, 64)
+	e.InjectScribble(oids[5].Off, 10, 5)
+	e.InjectScribble(oids[40].Off+30, 20, 6)
+	e.InjectMediaError(oids[20].Off)
+	sc := e.NewScrubber(ScrubberConfig{MaxObjectsPerStep: 8})
+	total := ScrubReport{ChecksumsVerified: true}
+	for i := 0; ; i++ {
+		rep, done, err := sc.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(rep)
+		if done {
+			break
+		}
+		// The pool is live between steps: commit a fresh transaction.
+		if err := e.Run(func(tx *Tx) error {
+			_, _, err := tx.Alloc(64, 2)
+			return err
+		}); err != nil {
+			t.Fatalf("commit between steps %d: %v", i, err)
+		}
+		if i > 10000 {
+			t.Fatal("pass never completed")
+		}
+	}
+	if total.PagesHealed < 1 {
+		t.Fatalf("poisoned page not healed: %+v", total)
+	}
+	if total.BadObjects < 1 || total.Repaired != total.BadObjects || total.Unrecovered != 0 {
+		t.Fatalf("scrub totals %+v", total)
+	}
+	if !total.ChecksumsVerified {
+		t.Fatalf("MLPC pass must report checksums verified: %+v", total)
+	}
+	checkRestored(t, e, oids)
+	verifyParity(t, e)
+}
+
+// TestScrubberPoisonDrainedEveryStep: a page poisoned mid-pass is
+// repaired by the very next step, regardless of where the cursor is —
+// known-bad pages never wait for the pass to come around.
+func TestScrubberPoisonDrainedEveryStep(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+	oids := allocN(t, e, 100)
+	sc := e.NewScrubber(ScrubberConfig{MaxObjectsPerStep: 16})
+	if _, _, err := sc.Step(); err != nil { // cursor is now mid-objects
+		t.Fatal(err)
+	}
+	e.InjectMediaError(oids[2].Off) // behind the cursor
+	rep, _, err := sc.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesHealed < 1 {
+		t.Fatalf("next step did not heal the poisoned page: %+v", rep)
+	}
+	if len(e.dev.PoisonedPages()) != 0 {
+		t.Fatal("poisoned page survived the step")
+	}
+}
+
+// TestScrubberUnrepairablePageDoesNotWedge: a poisoned page that cannot
+// be repaired (here: a mode with no parity) is quarantined and reported
+// as pages_unrecovered — passes keep completing instead of every
+// subsequent step erroring out on the same dead page.
+func TestScrubberUnrepairablePageDoesNotWedge(t *testing.T) {
+	e := mkEngine(t, PangolinML) // replicated metadata, no parity: data pages unrepairable
+	var oid layout.OID
+	if err := e.Run(func(tx *Tx) error {
+		var err error
+		oid, _, err = tx.Alloc(128, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.InjectMediaError(oid.Off)
+	sc := e.NewScrubber(ScrubberConfig{})
+	for i := 0; i < 3; i++ {
+		rep, done, err := sc.Step()
+		if err != nil {
+			t.Fatalf("step %d errored on an unrepairable page: %v", i, err)
+		}
+		if !done {
+			continue
+		}
+		if rep.PagesUnrecovered == 0 && i == 0 {
+			t.Fatalf("first pass did not report the unrepairable page: %+v", rep)
+		}
+	}
+	if sc.Passes() == 0 {
+		t.Fatal("no pass completed with a dead page present")
+	}
+}
+
+// TestScrubberNoPaveOver: data scribbled BEHIND the object cursor is
+// met first by the parity phase. Recomputing parity there would pave
+// over the only redundancy that can restore the data; the scrubber must
+// instead detect the dirty objects on the mismatching column and repair
+// them from parity.
+func TestScrubberNoPaveOver(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+	oids := allocN(t, e, 40)
+	sc := e.NewScrubber(ScrubberConfig{MaxObjectsPerStep: 1 << 20})
+	// One step covers the whole object phase; the cursor now points at
+	// the parity phase.
+	if _, _, err := sc.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.phase != scrubParity {
+		t.Fatalf("phase = %d, want parity", sc.phase)
+	}
+	// Corrupt data the object phase has already passed.
+	e.InjectScribble(oids[3].Off, 16, 9)
+	total := ScrubReport{ChecksumsVerified: true}
+	for {
+		rep, done, err := sc.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(rep)
+		if done {
+			break
+		}
+	}
+	if total.Repaired < 1 || total.Unrecovered != 0 {
+		t.Fatalf("parity phase did not repair the scribbled object: %+v", total)
+	}
+	checkRestored(t, e, oids)
+	verifyParity(t, e)
+	// A second full pass must find nothing wrong (the corruption was
+	// repaired, not paved into parity).
+	rep, err := e.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadObjects != 0 || rep.Unrecovered != 0 {
+		t.Fatalf("second pass still sees corruption: %+v", rep)
+	}
+}
+
+// TestObjectsFromMatchesFilter: the scrub cursor's resumable iterator
+// (address-arithmetic skipping) visits exactly the objects a full
+// iteration filtered by Base > after would, for cursors landing before,
+// inside, between, and after the live objects — including a multi-chunk
+// extent allocation.
+func TestObjectsFromMatchesFilter(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+	allocN(t, e, 60)
+	// A large extent object (spans whole chunks) and odd sizes.
+	for _, size := range []uint64{40 << 10, 700, 8 << 10} {
+		if err := e.Run(func(tx *Tx) error {
+			_, _, err := tx.Alloc(size, 3)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var all []alloc.ObjectInfo
+	e.heap.Objects(func(o alloc.ObjectInfo) bool { all = append(all, o); return true })
+	if len(all) < 60 {
+		t.Fatalf("only %d objects", len(all))
+	}
+	cursors := []uint64{0, all[0].Base, all[0].Base - 1, all[10].Base,
+		all[len(all)/2].Base + 1, all[len(all)-1].Base, all[len(all)-1].Base + 1, ^uint64(0) >> 1}
+	for _, after := range cursors {
+		var want []uint64
+		for _, o := range all {
+			if o.Base > after {
+				want = append(want, o.Base)
+			}
+		}
+		var got []uint64
+		e.heap.ObjectsFrom(after, func(o alloc.ObjectInfo) bool {
+			got = append(got, o.Base)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("after %#x: got %d objects, want %d", after, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("after %#x: object %d = %#x, want %#x", after, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScrubReportAdd: the merge covers every field — a new counter
+// added to ScrubReport cannot be silently dropped by Add.
+func TestScrubReportAdd(t *testing.T) {
+	mk := func() ScrubReport {
+		var r ScrubReport
+		v := reflect.ValueOf(&r).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			switch f := v.Field(i); f.Kind() {
+			case reflect.Int:
+				f.SetInt(1)
+			case reflect.Bool:
+				f.SetBool(true)
+			default:
+				t.Fatalf("ScrubReport field %s has kind %v: teach Add and this test about it",
+					v.Type().Field(i).Name, f.Kind())
+			}
+		}
+		return r
+	}
+	sum := mk()
+	sum.Add(mk())
+	v := reflect.ValueOf(sum)
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int:
+			if f.Int() != 2 {
+				t.Fatalf("Add dropped field %s (= %d, want 2)", v.Type().Field(i).Name, f.Int())
+			}
+		case reflect.Bool:
+			if !f.Bool() {
+				t.Fatalf("Add cleared field %s", v.Type().Field(i).Name)
+			}
+		}
+	}
+	// ChecksumsVerified ANDs: one unverified constituent taints the merge.
+	a := ScrubReport{ChecksumsVerified: true}
+	a.Add(ScrubReport{ChecksumsVerified: false})
+	if a.ChecksumsVerified {
+		t.Fatal("merging an unverified report must clear ChecksumsVerified")
+	}
+}
+
+// TestScrubChecksumsVerifiedFlag: a checksum-less mode's report says so
+// explicitly instead of letting "0 bad objects" read as verified clean.
+func TestScrubChecksumsVerifiedFlag(t *testing.T) {
+	for _, tc := range []struct {
+		mode Mode
+		want bool
+	}{{PangolinMLPC, true}, {PangolinMLP, false}, {PangolinML, false}} {
+		e := mkEngine(t, tc.mode)
+		allocN(t, e, 3)
+		rep, err := e.Scrub()
+		if err != nil {
+			t.Fatalf("%v: %v", tc.mode, err)
+		}
+		if rep.ChecksumsVerified != tc.want {
+			t.Fatalf("%v: ChecksumsVerified = %v, want %v", tc.mode, rep.ChecksumsVerified, tc.want)
+		}
+		if !tc.want && rep.Objects != 0 {
+			t.Fatalf("%v: examined %d objects without checksums", tc.mode, rep.Objects)
+		}
+	}
+}
+
+// TestInjectRandomFault: the fault-injection hook corrupts live objects
+// in both flavors, and a scrub pass heals whatever it injected.
+func TestInjectRandomFault(t *testing.T) {
+	e := mkEngine(t, PangolinMLPC)
+	oids := allocN(t, e, 50)
+	for seed := int64(0); seed < 8; seed++ { // even = scribble, odd = poison
+		if !e.InjectRandomFault(seed) {
+			t.Fatalf("seed %d: no live object found", seed)
+		}
+	}
+	rep, err := e.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed() == 0 {
+		t.Fatalf("nothing repaired after 8 injections: %+v", rep)
+	}
+	if rep.Unrecovered != 0 {
+		t.Fatalf("injections unrecoverable: %+v", rep)
+	}
+	checkRestored(t, e, oids)
+	verifyParity(t, e)
+
+	// An empty pool reports false instead of corrupting metadata.
+	e2 := mkEngine(t, PangolinMLPC)
+	if e2.InjectRandomFault(1) {
+		t.Fatal("InjectRandomFault on an empty pool claimed success")
+	}
+}

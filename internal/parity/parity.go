@@ -170,12 +170,26 @@ func (p *Parity) RecomputeColumn(z, col, n uint64) error {
 // XOR of all data rows. It returns the first mismatching column, or -1 if
 // the zone verifies. The caller must have quiesced transactions.
 func (p *Parity) VerifyZone(z uint64) (int64, error) {
+	return p.VerifyRange(z, 0, p.geo.RowSize())
+}
+
+// VerifyRange checks the parity invariant for zone z's columns
+// [start, start+span) only — the bounded unit an incremental scrub step
+// verifies, so a full zone never has to be checked under one freeze
+// window. It returns the first mismatching column (an absolute column
+// offset within the row), or -1 if the range verifies. The caller must
+// have quiesced transactions.
+func (p *Parity) VerifyRange(z uint64, start, span uint64) (int64, error) {
 	const stripe = 64 * 1024
 	rowSize := p.geo.RowSize()
+	if start >= rowSize {
+		return -1, nil
+	}
+	end := min(start+span, rowSize)
 	acc := make([]byte, stripe)
 	buf := make([]byte, stripe)
-	for col := uint64(0); col < rowSize; col += stripe {
-		n := min(stripe, rowSize-col)
+	for col := start; col < end; col += stripe {
+		n := min(stripe, end-col)
 		for i := range acc[:n] {
 			acc[i] = 0
 		}

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"time"
+)
+
+// The maintenance scheduler drives the shards' incremental scrubbers:
+// every tick it offers ONE bounded scrub step to the next shard in
+// round-robin order, through the shard's worker queue, so steps
+// interleave between group commits under the existing reader/writer
+// gate. Backpressure is absolute — a step is skipped (and counted as a
+// scrub_backoff) whenever the worker has queued requests or the enqueue
+// would block, so a busy worker always wins over the scrubber and the
+// scheduler degrades to scrubbing only the idle moments. Full-pool
+// integrity is then the fixpoint the steps converge to: every shard's
+// last_full_pass_unix advances as its cursor wraps, and bg_repairs
+// counts the corruption the steps healed before any client read could
+// meet it.
+type maintenance struct {
+	interval time.Duration
+	stopc    chan struct{}
+	done     chan struct{}
+}
+
+// startMaint launches the scheduler when opts enable it (ScrubInterval
+// > 0). One goroutine serves the whole set: intervals are per step, not
+// per shard, so the scrub load on the process is bounded regardless of
+// the shard count.
+func (s *Set) startMaint(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	m := &maintenance{
+		interval: interval,
+		stopc:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.maint = m
+	go s.maintLoop(m)
+}
+
+// stopMaint stops the scheduler and waits for it; safe to call twice.
+func (s *Set) stopMaint() {
+	if s.maint == nil {
+		return
+	}
+	close(s.maint.stopc)
+	<-s.maint.done
+	s.maint = nil
+}
+
+func (s *Set) maintLoop(m *maintenance) {
+	defer close(m.done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	next := 0
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+		}
+		w := s.workers[next%len(s.workers)]
+		next++
+		// Backpressure: any queued client work means the worker is busy;
+		// skip this shard's step rather than adding to its backlog.
+		if len(w.reqs) > 0 {
+			w.scrubBackoffs.Add(1)
+			continue
+		}
+		reply, ok := w.trySend(request{op: opScrubStep})
+		if !ok {
+			w.scrubBackoffs.Add(1)
+			continue
+		}
+		// Wait for the step before scheduling the next one: the
+		// scheduler never has more than one step outstanding, so it can
+		// never queue scrub work faster than the workers retire it.
+		select {
+		case <-reply:
+		case <-m.stopc:
+			// Shutdown while a step is in flight: the worker still
+			// drains it (stop() waits for the queue), we just stop
+			// waiting.
+			return
+		}
+	}
+}

@@ -30,6 +30,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/pangolin-go/pangolin"
 	"github.com/pangolin-go/pangolin/structures/kv"
@@ -96,6 +97,13 @@ type Options struct {
 	// pre-fast-path behavior). Mainly for A/B measurement (pglserve
 	// -serial-reads) and tests; leave false in production.
 	SerialReads bool
+	// ScrubInterval enables the background maintenance scheduler: every
+	// interval one shard (round-robin) is offered one bounded scrub
+	// step, skipped with a backoff whenever that shard's worker is busy.
+	// 0 disables the scheduler; scrubbing then happens only on demand
+	// (Scrub / the server's SCRUB op). Step bounds come from
+	// Pangolin.Scrub.
+	ScrubInterval time.Duration
 }
 
 func (o *Options) structure() string {
@@ -161,6 +169,7 @@ type Set struct {
 	pools     *pangolin.PoolSet
 	workers   []*worker
 	structure registry.Structure
+	maint     *maintenance // background scrub scheduler; nil when disabled
 }
 
 // Create builds a new n-shard set in dir and starts its workers.
@@ -202,13 +211,14 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch()))
+		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch(), cfg.Scrub))
 	}
 	// Persist the freshly initialized roots and anchors.
 	if err := s.Sync(); err != nil {
 		s.Abandon()
 		return nil, err
 	}
+	s.startMaint(opts.ScrubInterval)
 	return s, nil
 }
 
@@ -258,8 +268,9 @@ func Open(dir string, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch()))
+		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch(), cfg.Scrub))
 	}
+	s.startMaint(opts.ScrubInterval)
 	return s, nil
 }
 
@@ -450,14 +461,19 @@ func (s *Set) Sync() error { return s.fanOut(opSync, 0) }
 // directory recovers the crash state.
 func (s *Set) CrashSave(seed int64) error { return s.fanOut(opCrash, seed) }
 
-// Scrub runs a scrubbing pass on every shard and returns the merged
-// report.
+// Scrub runs a full scrubbing pass on every shard and returns the
+// merged report. Each shard's pass executes as bounded incremental
+// steps interleaved with its queued client requests, never as a
+// stop-the-world sweep; concurrent passes on one shard coalesce.
 func (s *Set) Scrub() (pangolin.ScrubReport, error) {
 	results := make([]chan response, len(s.workers))
 	for i, w := range s.workers {
 		results[i] = w.send(request{op: opScrub})
 	}
-	var total pangolin.ScrubReport
+	// Merge with ScrubReport.Add — a field-by-field merge here silently
+	// dropped new report fields once already.
+	total := pangolin.ScrubReport{ChecksumsVerified: true}
+	merged := false
 	var first error
 	for i, ch := range results {
 		r := <-ch
@@ -467,14 +483,68 @@ func (s *Set) Scrub() (pangolin.ScrubReport, error) {
 			}
 			continue
 		}
-		total.Objects += r.scrub.Objects
-		total.BadObjects += r.scrub.BadObjects
-		total.Repaired += r.scrub.Repaired
-		total.Unrecovered += r.scrub.Unrecovered
-		total.ParityFixes += r.scrub.ParityFixes
-		total.PagesHealed += r.scrub.PagesHealed
+		total.Add(r.scrub)
+		merged = true
+	}
+	if !merged {
+		total.ChecksumsVerified = false
 	}
 	return total, first
+}
+
+// InjectFaults corrupts count pseudo-randomly chosen live objects,
+// spread round-robin across the shards starting at a seed-chosen shard
+// — so repeated count=1 calls with advancing seeds (how pglload drives
+// it) still exercise every shard, not just shard 0 (§4.6 fault
+// injection; the server's INJECT op). It returns how many objects were
+// actually corrupted — shards with no live objects inject nothing.
+// Each injection runs on its shard's worker goroutine, serialized with
+// transactions like every other pool access.
+func (s *Set) InjectFaults(seed int64, count int) (int, error) {
+	injected := 0
+	var first error
+	start := int(mix(uint64(seed)) % uint64(len(s.workers)))
+	for i := 0; i < count; i++ {
+		w := s.workers[(start+i)%len(s.workers)]
+		r := w.do(request{op: opInject, seed: seed + int64(i)})
+		if r.err != nil {
+			if first == nil {
+				first = r.err
+			}
+			continue
+		}
+		if r.ok {
+			injected++
+		}
+	}
+	return injected, first
+}
+
+// ScrubHealth summarizes the maintenance subsystem's state across the
+// set: how many bounded steps have run, how much corruption they
+// repaired, how often backpressure skipped a step, how many steps or
+// passes failed (a growing value with a stuck LastFullPass means the
+// cursor cannot advance), and the oldest shard's last completed full
+// pass (the set-wide "verified clean as of" bound — 0 while any shard
+// has yet to finish a pass).
+type ScrubHealth struct {
+	ScrubSteps    uint64 `json:"scrub_steps"`
+	BgRepairs     uint64 `json:"bg_repairs"`
+	ScrubBackoffs uint64 `json:"scrub_backoffs"`
+	ScrubErrors   uint64 `json:"scrub_errors"`
+	LastFullPass  int64  `json:"last_full_pass_unix"`
+}
+
+// ScrubHealth snapshots the set's maintenance counters.
+func (s *Set) ScrubHealth() ScrubHealth {
+	st := s.Stats()
+	return ScrubHealth{
+		ScrubSteps:    st.ScrubSteps,
+		BgRepairs:     st.BgRepairs,
+		ScrubBackoffs: st.ScrubBackoffs,
+		ScrubErrors:   st.ScrubErrors,
+		LastFullPass:  st.LastFullPass,
+	}
 }
 
 // Stats snapshots per-shard and aggregate counters.
@@ -491,6 +561,16 @@ func (s *Set) Stats() Stats {
 	for i, ch := range results {
 		r := <-ch
 		st.Shards[i] = r.stats
+		st.ScrubSteps += r.stats.ScrubSteps
+		st.BgRepairs += r.stats.BgRepairs
+		st.ScrubBackoffs += r.stats.ScrubBackoffs
+		st.ScrubErrors += r.stats.ScrubErrors
+		// The aggregate last-full-pass is the OLDEST shard's: the whole
+		// set is only as freshly verified as its most stale shard, and 0
+		// (never) while any shard has yet to complete a pass.
+		if i == 0 || r.stats.LastFullPass < st.LastFullPass {
+			st.LastFullPass = r.stats.LastFullPass
+		}
 		st.Gets += r.stats.Gets
 		st.Puts += r.stats.Puts
 		st.Dels += r.stats.Dels
@@ -525,6 +605,7 @@ func (s *Set) Close() error {
 // Abandon shuts the set down without saving, leaving the shard files as
 // they are — after CrashSave this completes the simulated machine death.
 func (s *Set) Abandon() {
+	s.stopMaint()
 	for _, w := range s.workers {
 		w.stop()
 	}
@@ -575,6 +656,20 @@ type ShardStats struct {
 	FastScanPairs uint64 `json:"fast_scan_pairs"`
 	ScanFallbacks uint64 `json:"scan_fallbacks"`
 	ScanFaults    uint64 `json:"scan_faults"`
+	// Maintenance health. ScrubSteps counts bounded scrub steps executed
+	// on this shard (scheduler ticks, full passes, and heal-retry
+	// passes); BgRepairs counts the objects/pages/parity columns the
+	// scheduler's steps repaired; ScrubBackoffs counts steps skipped
+	// because the worker was busy (traffic wins); ScrubErrors counts
+	// steps and passes that FAILED — a growing value with a stuck
+	// LastFullPass is the signal that the cursor cannot advance;
+	// LastFullPass is the unix time the shard last completed a full
+	// pass (0 = never).
+	ScrubSteps    uint64 `json:"scrub_steps"`
+	BgRepairs     uint64 `json:"bg_repairs"`
+	ScrubBackoffs uint64 `json:"scrub_backoffs"`
+	ScrubErrors   uint64 `json:"scrub_errors"`
+	LastFullPass  int64  `json:"last_full_pass_unix"`
 	Objects       int    `json:"objects"`
 	Bytes         uint64 `json:"bytes"`
 }
@@ -601,6 +696,11 @@ type Stats struct {
 	FastScanPairs  uint64       `json:"fast_scan_pairs"`
 	ScanFallbacks  uint64       `json:"scan_fallbacks"`
 	ScanFaults     uint64       `json:"scan_faults"`
+	ScrubSteps     uint64       `json:"scrub_steps"`
+	BgRepairs      uint64       `json:"bg_repairs"`
+	ScrubBackoffs  uint64       `json:"scrub_backoffs"`
+	ScrubErrors    uint64       `json:"scrub_errors"`
+	LastFullPass   int64        `json:"last_full_pass_unix"` // oldest shard's; 0 while any shard has no pass
 	Objects        int          `json:"objects"`
 	Bytes          uint64       `json:"bytes"`
 	Shards         []ShardStats `json:"shards"`

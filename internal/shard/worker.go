@@ -1,10 +1,12 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/pangolin-go/pangolin"
 	"github.com/pangolin-go/pangolin/structures/kv"
@@ -18,9 +20,11 @@ const (
 	opBatch // a client-supplied group of Get/Put/Del for this shard
 	opScan  // one scan chunk on the owner (repairing) read path
 	opStats
-	opSync  // save this shard's snapshot file
-	opCrash // write a crash image over this shard's snapshot file
-	opScrub
+	opSync      // save this shard's snapshot file
+	opCrash     // write a crash image over this shard's snapshot file
+	opScrub     // a full pass: bounded steps interleaved with requests
+	opScrubStep // one bounded step of the shard's persistent scrubber
+	opInject    // corrupt a random live object (fault-injection hook)
 )
 
 // Batch op kinds (BatchOp.Kind).
@@ -112,6 +116,12 @@ type worker struct {
 	scanFallbacks atomic.Uint64 // chunks bounced to the worker: gate busy / freeze
 	scanFaults    atomic.Uint64 // chunks bounced to the worker: fault needing repair
 
+	// scrubBackoffs counts maintenance steps the scheduler skipped
+	// because this worker was busy (queued requests, or the enqueue
+	// would have blocked) — the backpressure signal that traffic always
+	// wins over the scrubber. Touched from the scheduler goroutine.
+	scrubBackoffs atomic.Uint64
+
 	// Shutdown protocol: the lock covers only the closed flag and
 	// sender registration — never a channel send — so stop() cannot
 	// wedge behind a full queue, and senders cannot wedge behind a
@@ -127,9 +137,39 @@ type worker struct {
 	batches, batchedOps, groupFallbacks uint64
 	scans, scanPairs                    uint64    // worker-path scan chunks
 	scratch                             []request // loop-local drain buffer
+
+	// Maintenance state, touched only by the worker goroutine.
+	scrubCfg         pangolin.ScrubberConfig
+	scrubSteps       uint64 // scrub steps executed (scheduler + full passes)
+	bgRepairs        uint64 // repairs made by scheduler-driven steps
+	scrubErrs        uint64 // scrub steps/passes that failed
+	lastFullPassUnix int64  // wall time the last full pass completed; 0 = never
+	fullScrub        *fullScrubJob
+
+	// withHeal futility throttle: when a heal pass fixes nothing, the
+	// corruption at that locus is beyond parity's reach and re-running
+	// a pass per failing op would stall the shard; heals for the same
+	// locus are suppressed for a cooldown. Keyed per failing
+	// object/page (so unrelated, recoverable corruption elsewhere still
+	// heals immediately), with a bounded map — at the cap, the throttle
+	// degrades to shard-global so a storm of distinct unhealable loci
+	// cannot turn every op into a full pass either.
+	futileHeals   map[uint64]time.Time
+	healsThrottle time.Time // shard-global fallback once futileHeals is full
 }
 
-func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.Map, ordered bool, queueLen, maxBatch int) *worker {
+// fullScrubJob is an in-progress SCRUB pass: a fresh scrubber stepped to
+// completion by the worker loop, with queued client requests served
+// between steps — the full pass is a fixpoint of bounded steps, never a
+// stop-the-world sweep. Requests that arrive while a pass is running
+// join as waiters and share its report.
+type fullScrubJob struct {
+	sc      *pangolin.Scrubber
+	total   pangolin.ScrubReport
+	waiters []chan response
+}
+
+func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.Map, ordered bool, queueLen, maxBatch int, scrubCfg pangolin.ScrubberConfig) *worker {
 	w := &worker{
 		idx:      idx,
 		pools:    pools,
@@ -138,6 +178,7 @@ func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.
 		rom:      rom,
 		ordered:  ordered,
 		maxBatch: maxBatch,
+		scrubCfg: scrubCfg,
 		reqs:     make(chan request, queueLen),
 		exited:   make(chan struct{}),
 	}
@@ -324,6 +365,28 @@ func (w *worker) send(req request) chan response {
 // do enqueues req and waits for the response.
 func (w *worker) do(req request) response { return <-w.send(req) }
 
+// trySend is send without ever blocking: it fails instead of waiting
+// when the worker is shutting down or the queue is full. The maintenance
+// scheduler uses it so a scrub step can never back-pressure client
+// traffic — the reverse is the rule.
+func (w *worker) trySend(req request) (chan response, bool) {
+	req.reply = make(chan response, 1)
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		return nil, false
+	}
+	w.senders.Add(1)
+	w.mu.RUnlock()
+	defer w.senders.Done()
+	select {
+	case w.reqs <- req:
+		return req.reply, true
+	default:
+		return nil, false
+	}
+}
+
 // stop shuts the worker down after every enqueued request has been
 // answered; the pool is safe to close once stop returns.
 func (w *worker) stop() {
@@ -359,12 +422,28 @@ func opCount(req request) int {
 
 func (w *worker) loop() {
 	defer close(w.exited)
+	defer w.failScrubWaiters()
 	var carry *request // drained request that would overfill its group
 	for {
 		var req request
-		if carry != nil {
+		switch {
+		case carry != nil:
 			req, carry = *carry, nil
-		} else {
+		case w.fullScrub != nil:
+			// A full scrub pass is in progress: queued client requests
+			// always run first (traffic wins), and only an idle moment
+			// advances the pass by one bounded step.
+			select {
+			case r, ok := <-w.reqs:
+				if !ok {
+					return
+				}
+				req = r
+			default:
+				w.stepFullScrub()
+				continue
+			}
+		default:
 			var ok bool
 			req, ok = <-w.reqs
 			if !ok {
@@ -372,6 +451,10 @@ func (w *worker) loop() {
 			}
 		}
 		if !groupable(req.op) {
+			if req.op == opScrub {
+				w.startFullScrub(req.reply)
+				continue
+			}
 			req.reply <- w.handleLocked(req)
 			continue
 		}
@@ -410,9 +493,61 @@ func (w *worker) loop() {
 		w.gate.Unlock()
 		w.scratch = group[:0]
 		if hasBarrier {
-			barrier.reply <- w.handleLocked(barrier)
+			if barrier.op == opScrub {
+				w.startFullScrub(barrier.reply)
+			} else {
+				barrier.reply <- w.handleLocked(barrier)
+			}
 		}
 	}
+}
+
+// startFullScrub begins (or joins) a full scrub pass for the waiter. The
+// loop steps the pass whenever the queue is idle; every waiter gets the
+// completed pass's merged report.
+func (w *worker) startFullScrub(reply chan response) {
+	if w.fullScrub == nil {
+		w.fullScrub = &fullScrubJob{
+			sc:    w.pool.NewScrubber(w.scrubCfg),
+			total: pangolin.ScrubReport{ChecksumsVerified: w.pool.Mode().Checksums()},
+		}
+	}
+	w.fullScrub.waiters = append(w.fullScrub.waiters, reply)
+}
+
+// stepFullScrub advances the in-progress pass one bounded step under the
+// reader gate's write side, answering the waiters when the pass
+// completes (or fails).
+func (w *worker) stepFullScrub() {
+	job := w.fullScrub
+	w.gate.Lock()
+	rep, done, err := job.sc.Step()
+	w.gate.Unlock()
+	job.total.Add(rep)
+	if err == nil {
+		w.scrubSteps++
+		if !done {
+			return
+		}
+		w.lastFullPassUnix = time.Now().Unix()
+	} else {
+		w.scrubErrs++
+	}
+	w.fullScrub = nil
+	for _, reply := range job.waiters {
+		reply <- response{scrub: job.total, err: err}
+	}
+}
+
+// failScrubWaiters answers any pass still in progress at shutdown.
+func (w *worker) failScrubWaiters() {
+	if w.fullScrub == nil {
+		return
+	}
+	for _, reply := range w.fullScrub.waiters {
+		reply <- response{err: fmt.Errorf("shard %d: %w", w.idx, ErrShuttingDown)}
+	}
+	w.fullScrub = nil
 }
 
 // handleLocked runs one request with the reader gate's write side held,
@@ -597,18 +732,128 @@ func (w *worker) countGroup(req request, resp response) {
 	}
 }
 
+// healCooldown suppresses repeat heal passes after a futile one: truly
+// unrecoverable corruption on a hot key must not turn every op into a
+// full-pool pass.
+const healCooldown = time.Second
+
+// maxFutileLoci bounds the futility map; past it the throttle turns
+// shard-global for a cooldown.
+const maxFutileLoci = 64
+
+// withHeal runs one data operation with a single repair-retry: if the
+// op fails on CORRUPTION — a checksum mismatch, a poison hit, or the
+// typed invalid-OID failure a scribbled pointer produces when a
+// traversal follows it before any verification could flag its object
+// (the Table 4 vulnerability window) — one full scrub pass runs and the
+// op retries. The pass restores the scribbled object from parity, so
+// the retry serves repaired data and the client never sees the
+// corruption. Non-corruption failures (out of space, shutdown) return
+// as-is: a pass can't help them and must not become their per-op tax,
+// and a pass that fixed nothing starts the futility cooldown so
+// unrecoverable damage errors cheaply instead of re-scrubbing per op.
+//
+// The caller holds the reader gate's write side (every handle() path
+// does); the heal releases it between steps so fast-path readers keep
+// their bounded gate windows even while a pass runs.
+func (w *worker) withHeal(fn func() error) error {
+	err := fn()
+	if err == nil || (!pangolin.IsCorruption(err) && !pangolin.IsPoison(err)) {
+		return err
+	}
+	key := faultKey(err)
+	if time.Since(w.healsThrottle) < healCooldown {
+		return err
+	}
+	if t, ok := w.futileHeals[key]; ok && time.Since(t) < healCooldown {
+		return err
+	}
+	rep, herr := w.healPass()
+	if herr != nil || rep.Fixed() == 0 {
+		w.noteFutileHeal(key)
+	} else {
+		delete(w.futileHeals, key)
+	}
+	if herr != nil {
+		w.scrubErrs++
+		return err
+	}
+	return fn()
+}
+
+// noteFutileHeal records a heal pass that fixed nothing for this locus,
+// pruning expired entries and degrading to a shard-global throttle when
+// too many distinct loci are futile at once.
+func (w *worker) noteFutileHeal(key uint64) {
+	if w.futileHeals == nil {
+		w.futileHeals = make(map[uint64]time.Time)
+	}
+	if len(w.futileHeals) >= maxFutileLoci {
+		for k, t := range w.futileHeals {
+			if time.Since(t) >= healCooldown {
+				delete(w.futileHeals, k)
+			}
+		}
+		if len(w.futileHeals) >= maxFutileLoci {
+			w.healsThrottle = time.Now()
+			return
+		}
+	}
+	w.futileHeals[key] = time.Now()
+}
+
+// faultKey extracts the failing locus from a corruption/poison error:
+// the corrupt object's offset or the poisoned page. It keys the
+// futility cooldown so one unhealable locus doesn't suppress heals for
+// the rest of the shard.
+func faultKey(err error) uint64 {
+	var ce *pangolin.CorruptionError
+	if errors.As(err, &ce) {
+		return ce.OID.Off
+	}
+	var pe *pangolin.PoisonError
+	if errors.As(err, &pe) {
+		return pe.Off
+	}
+	return 0
+}
+
+// healPass steps one full scrub pass with the reader gate's write side
+// released between steps (the caller holds it on entry; it is held
+// again on return) — the shard never reverts to a stop-the-world pass,
+// even on the repair path.
+func (w *worker) healPass() (pangolin.ScrubReport, error) {
+	sc := w.pool.NewScrubber(w.scrubCfg)
+	total := pangolin.ScrubReport{ChecksumsVerified: w.pool.Mode().Checksums()}
+	for {
+		rep, done, err := sc.Step()
+		total.Add(rep)
+		w.scrubSteps++
+		if err != nil || done {
+			return total, err
+		}
+		w.gate.Unlock()
+		w.gate.Lock()
+	}
+}
+
 func (w *worker) handle(req request) response {
 	switch req.op {
 	case opPut:
 		w.puts++
-		err := w.m.Insert(req.k, req.v)
+		err := w.withHeal(func() error { return w.m.Insert(req.k, req.v) })
 		if err != nil {
 			w.errs++
 		}
 		return response{err: err}
 	case opGet:
 		w.gets++
-		v, ok, err := w.m.Lookup(req.k)
+		var v uint64
+		var ok bool
+		err := w.withHeal(func() (e error) {
+			v, ok, e = w.m.Lookup(req.k)
+			return e
+		})
 		if err != nil {
 			w.errs++
 		}
@@ -618,7 +863,11 @@ func (w *worker) handle(req request) response {
 		return response{v: v, ok: ok, err: err}
 	case opDel:
 		w.dels++
-		ok, err := w.m.Remove(req.k)
+		var ok bool
+		err := w.withHeal(func() (e error) {
+			ok, e = w.m.Remove(req.k)
+			return e
+		})
 		if err != nil {
 			w.errs++
 		}
@@ -631,14 +880,19 @@ func (w *worker) handle(req request) response {
 			switch op.Kind {
 			case BatchPut:
 				w.puts++
-				err := w.m.Insert(op.K, op.V)
+				err := w.withHeal(func() error { return w.m.Insert(op.K, op.V) })
 				if err != nil {
 					w.errs++
 				}
 				res[i] = BatchResult{OK: err == nil, Err: err}
 			case BatchGet:
 				w.gets++
-				v, ok, err := w.m.Lookup(op.K)
+				var v uint64
+				var ok bool
+				err := w.withHeal(func() (e error) {
+					v, ok, e = w.m.Lookup(op.K)
+					return e
+				})
 				if err != nil {
 					w.errs++
 				}
@@ -648,7 +902,11 @@ func (w *worker) handle(req request) response {
 				res[i] = BatchResult{V: v, OK: ok, Err: err}
 			case BatchDel:
 				w.dels++
-				ok, err := w.m.Remove(op.K)
+				var ok bool
+				err := w.withHeal(func() (e error) {
+					ok, e = w.m.Remove(op.K)
+					return e
+				})
 				if err != nil {
 					w.errs++
 				}
@@ -663,7 +921,11 @@ func (w *worker) handle(req request) response {
 		// The worker-path scan chunk: the owner instance's repairing
 		// reads, serialized with transactions like every worker op.
 		w.scans++
-		pairs, err := scanCollect(w.m, w.ordered, req.k, req.v, req.max)
+		var pairs []Pair
+		err := w.withHeal(func() (e error) {
+			pairs, e = scanCollect(w.m, w.ordered, req.k, req.v, req.max)
+			return e
+		})
 		if err != nil {
 			w.errs++
 		}
@@ -691,6 +953,11 @@ func (w *worker) handle(req request) response {
 			FastScanPairs:  w.fastScanPairs.Load(),
 			ScanFallbacks:  w.scanFallbacks.Load(),
 			ScanFaults:     w.scanFaults.Load(),
+			ScrubSteps:     w.scrubSteps,
+			BgRepairs:      w.bgRepairs,
+			ScrubBackoffs:  w.scrubBackoffs.Load(),
+			ScrubErrors:    w.scrubErrs,
+			LastFullPass:   w.lastFullPassUnix,
 			Objects:        live.Objects,
 			Bytes:          live.Bytes,
 		}}
@@ -698,9 +965,31 @@ func (w *worker) handle(req request) response {
 		return response{err: w.pools.SaveShard(w.idx)}
 	case opCrash:
 		return response{err: w.pools.CrashSaveShard(w.idx, pangolin.CrashEvictRandom, req.seed)}
-	case opScrub:
-		rep, err := w.pool.Scrub()
-		return response{scrub: rep, err: err}
+	case opScrubStep:
+		// One bounded step of the shard's persistent scrubber — the
+		// maintenance scheduler's unit of work. Repairs it makes count
+		// as background repairs; a completed pass stamps the shard's
+		// scrub health.
+		rep, done, err := w.pool.ScrubStep()
+		if err != nil {
+			// The scheduler fires and forgets; the error must not vanish
+			// with the reply — scrub_errors is the operator's signal that
+			// steps are failing (and the cursor is stuck).
+			w.scrubErrs++
+			return response{scrub: rep, err: err}
+		}
+		w.scrubSteps++
+		w.bgRepairs += uint64(rep.Fixed())
+		if done {
+			w.lastFullPassUnix = time.Now().Unix()
+		}
+		return response{scrub: rep, ok: done}
+	case opInject:
+		// Fault-injection hook (§4.6): corrupt one random live object so
+		// tests and the loadtest corruption phase can prove the
+		// maintenance subsystem heals a live pool.
+		ok := w.pool.InjectRandomFault(req.seed)
+		return response{ok: ok}
 	default:
 		return response{err: fmt.Errorf("shard %d: unknown op %d", w.idx, req.op)}
 	}

@@ -35,6 +35,7 @@ package pangolin
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/pangolin-go/pangolin/internal/core"
 	"github.com/pangolin-go/pangolin/internal/layout"
@@ -89,8 +90,17 @@ const (
 // Stats exposes engine counters.
 type Stats = core.Stats
 
-// ScrubReport summarizes a scrubbing pass.
+// ScrubReport summarizes scrubbing work: a full pass, one incremental
+// step, or any merged set of either (see ScrubReport.Add).
 type ScrubReport = core.ScrubReport
+
+// ScrubberConfig bounds the work (and freeze window) of one incremental
+// scrub step.
+type ScrubberConfig = core.ScrubberConfig
+
+// Scrubber is a resumable incremental scrub cursor over one pool; see
+// Pool.NewScrubber.
+type Scrubber = core.Scrubber
 
 // Device is the simulated NVMM module backing a pool.
 type Device = nvm.Device
@@ -139,6 +149,10 @@ type Config struct {
 	// default (covers every per-key node of the six paper structures);
 	// negative verifies regardless of size.
 	ReadVerifyLimit int
+	// Scrub bounds the work of one incremental scrub step for the pool's
+	// built-in scrubber (Pool.ScrubStep) and any maintenance scheduler
+	// driving it. Zero values select the defaults.
+	Scrub ScrubberConfig
 }
 
 func (c *Config) geometry() Geometry {
@@ -154,6 +168,13 @@ func (c *Config) geometry() Geometry {
 type Pool struct {
 	e  *core.Engine
 	rv *readViewState // non-nil only on ReadView handles
+
+	// Built-in incremental scrubber (ScrubStep), created lazily with the
+	// Config.Scrub bounds. Guarded by scrubMu: steps are serialized, per
+	// the Scrubber contract.
+	scrubCfg ScrubberConfig
+	scrubMu  sync.Mutex
+	scrub    *Scrubber
 }
 
 // Create builds a new pool on a fresh simulated NVMM device.
@@ -184,7 +205,7 @@ func CreateOnDevice(dev *Device, cfg Config) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{e: e}, nil
+	return &Pool{e: e, scrubCfg: cfg.Scrub}, nil
 }
 
 // OpenDevice opens an existing pool on dev, running crash recovery.
@@ -201,7 +222,7 @@ func OpenDevice(dev *Device, cfg Config, replica *Device) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{e: e}, nil
+	return &Pool{e: e, scrubCfg: cfg.Scrub}, nil
 }
 
 // Close shuts the pool down. In-flight transactions must be finished.
@@ -276,8 +297,37 @@ func (p *Pool) ObjectType(oid OID) (uint32, error) { return p.e.ObjectType(oid) 
 // parity on mismatch.
 func (p *Pool) CheckObject(oid OID) error { return p.e.CheckObject(oid) }
 
-// Scrub verifies and restores the whole pool's integrity (§3.3).
+// Scrub verifies and restores the whole pool's integrity (§3.3) as one
+// full pass of incremental steps: the pool is frozen per bounded step,
+// never for the whole pass, so transactions and reads interleave.
 func (p *Pool) Scrub() (ScrubReport, error) { return p.e.Scrub() }
+
+// NewScrubber returns a resumable incremental scrubber over the pool.
+// Steps must be serialized by the caller (the pool's owner goroutine is
+// the canonical driver); everything else interleaves between steps.
+func (p *Pool) NewScrubber(cfg ScrubberConfig) *Scrubber { return p.e.NewScrubber(cfg) }
+
+// ScrubStep advances the pool's built-in incremental scrubber by one
+// bounded step (configured by Config.Scrub) and returns that step's
+// report. done reports that the step completed a full pass — every
+// known-bad page, live object, and parity zone covered since the cursor
+// last reset — after which the cursor starts over. Steps are serialized
+// internally; a maintenance scheduler calls this between transactions to
+// make full-pool integrity the fixpoint of many cheap steps.
+func (p *Pool) ScrubStep() (rep ScrubReport, done bool, err error) {
+	p.scrubMu.Lock()
+	defer p.scrubMu.Unlock()
+	if p.scrub == nil {
+		p.scrub = p.e.NewScrubber(p.scrubCfg)
+	}
+	return p.scrub.Step()
+}
+
+// InjectRandomFault corrupts a pseudo-randomly chosen live object (§4.6
+// fault injection): even seeds scribble the object's checksummed bytes,
+// odd seeds poison its page. It reports false when the pool holds no
+// live objects. Call with no transactions in flight.
+func (p *Pool) InjectRandomFault(seed int64) bool { return p.e.InjectRandomFault(seed) }
 
 // LiveStats summarizes heap occupancy.
 type LiveStats struct {

@@ -159,7 +159,8 @@ func (s *PoolSet) CrashSave(mode CrashMode, seed int64) error {
 }
 
 // Scrub runs a scrubbing pass over every shard, returning one report per
-// shard. No transactions may be in flight.
+// shard. No transactions may be in flight. Each shard's pass runs as a
+// sequence of bounded incremental steps (see Pool.Scrub).
 func (s *PoolSet) Scrub() ([]ScrubReport, error) {
 	reports := make([]ScrubReport, len(s.pools))
 	for i, p := range s.pools {
@@ -170,6 +171,13 @@ func (s *PoolSet) Scrub() ([]ScrubReport, error) {
 		reports[i] = rep
 	}
 	return reports, nil
+}
+
+// ScrubStep advances shard i's built-in incremental scrubber by one
+// bounded step; see Pool.ScrubStep. In a sharded service, call from the
+// shard's owner goroutine (internal/shard's maintenance scheduler does).
+func (s *PoolSet) ScrubStep(i int) (ScrubReport, bool, error) {
+	return s.pools[i].ScrubStep()
 }
 
 // Close shuts every shard pool down without saving. Call Save first for a

@@ -84,7 +84,7 @@ const vcacheClearEvery = 1 << 20
 // Only Get/ObjectSize/ObjectType-style reads are meaningful on a view;
 // transactional methods still work but follow the owner-path rules.
 func (p *Pool) ReadView() *Pool {
-	return &Pool{e: p.e, rv: &readViewState{}}
+	return &Pool{e: p.e, rv: &readViewState{}, scrubCfg: p.scrubCfg}
 }
 
 // IsReadView reports whether this handle is a concurrent read view.

@@ -227,6 +227,45 @@ func (c *Client) ScanAll(lo, hi uint64, fn func(k, v uint64) bool) error {
 	}
 }
 
+// Scrub reads the server's maintenance health and, when run is set,
+// first triggers a full scrubbing pass across every shard and waits for
+// it. The pass executes as bounded incremental steps interleaved with
+// live traffic on each shard; the returned status carries its merged
+// report (check Report.ChecksumsVerified before reading "0 bad objects"
+// as "verified clean") plus the scrub health counters.
+func (c *Client) Scrub(run bool) (ScrubStatus, error) {
+	var st ScrubStatus
+	mode := uint64(0)
+	if run {
+		mode = 1
+	}
+	_, body, err := c.roundTrip(Request{Op: OpScrub, Key: mode})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("server: decoding scrub status: %w", err)
+	}
+	return st, nil
+}
+
+// Inject asks the server to corrupt count pseudo-randomly chosen live
+// objects across the shards (scribbles and media-error poison,
+// alternating by seed) — the fault-injection hook behind the loadtest's
+// corruption-healing phase. It returns how many objects were actually
+// corrupted. Like CRASH, this is a test harness op, not a production
+// verb.
+func (c *Client) Inject(seed int64, count int) (uint64, error) {
+	status, body, err := c.roundTrip(Request{Op: OpInject, Key: uint64(seed), Val: uint64(count)})
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK || len(body) != 8 {
+		return 0, fmt.Errorf("server: INJECT response status %d, body %d bytes", status, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
 // Stats fetches the server's shard statistics.
 func (c *Client) Stats() (Stats, error) {
 	var st Stats

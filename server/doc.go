@@ -115,6 +115,55 @@
 // Ops for one key always land on one shard, so per-key ordering within a
 // batch is preserved.
 //
+// # Background maintenance (online scrubbing)
+//
+// Checksums and parity only help if corruption is found and repaired
+// while the pool keeps serving traffic (§3.3 "online scrubbing"). The
+// serving layer therefore runs a maintenance scheduler (pglserve
+// -scrub-interval, shard.Options.ScrubInterval): every interval it
+// offers ONE bounded scrub step to the next shard round-robin, routed
+// through that shard's worker queue so it serializes with commits
+// exactly like any other pool access. A step verifies and repairs a
+// capped chunk — by default at most 8 poisoned pages, or 64 live-object
+// checksums, or 256 KB of the parity invariant
+// (pangolin.ScrubberConfig) — under a freeze window bounded by those
+// caps, and a shard's full-pool integrity is the fixpoint the steps
+// converge to: known-bad pages are drained first every step, then a
+// cursor walks the live objects, then the parity zones, and the pass
+// completes when the cursor wraps.
+//
+// Backpressure is absolute: a step is skipped (counted as a
+// scrub_backoff) whenever the shard's worker has queued requests, so a
+// busy worker always wins and the scrubber consumes only idle moments.
+// The cost trade is the usual scrub-rate-vs-MTTR one: a short interval
+// shrinks the window in which unread corruption can accumulate a second
+// overlapping fault (which parity cannot repair) at the price of more
+// background work; a long interval is nearly free but leaves cold data
+// unverified longer. The single knob to reason with is the full-pass
+// time ≈ interval × shards × steps-per-pass, where steps-per-pass ≈
+// live_objects/64 + parity_bytes/256K per shard; scrub health in STATS
+// (scrub_steps, bg_repairs, scrub_backoffs, scrub_errors — failing
+// steps, the stuck-cursor signal — and last_full_pass_unix, the OLDEST
+// shard's pass time, 0 while any shard has never completed one) lets an
+// operator watch that bound rather than guess it. Reads that
+// stumble on corruption first still heal on the spot through the worker
+// read path, so the scrubber only ever shortens time-to-repair for data
+// no client has touched.
+//
+// SCRUB (op 11) is the wire verb: mode 0 reads the health block; mode 1
+// triggers a full pass on every shard and waits for it. Even the
+// triggered pass is incremental — each shard's worker steps a fresh
+// scrub cursor to completion BETWEEN serving its queued requests, so an
+// operator-initiated pass never stalls the pool either; concurrent
+// SCRUB requests against one shard coalesce into the same pass. The
+// response's report carries checksums_verified: false in checksum-less
+// modes, where "0 bad objects" means "not checked", not "verified
+// clean". INJECT (op 12) is the matching test-harness verb (like
+// CRASH): it corrupts count pseudo-randomly chosen live objects —
+// alternating software scribbles and media-error poison by seed — so
+// the loadtest's corruption-healing phase can prove injected faults are
+// healed under live traffic with zero client-visible errors.
+//
 // Durability is snapshot-per-shard (pangolin.PoolSet): shard i persists as
 // dir/shard-000i.pgl. SYNC saves every shard from its own worker, so a
 // save never races a transaction. CRASH writes a *crash image* of every
@@ -145,6 +194,10 @@
 //	MPUT  (8)  (key value)*        batch insert/update, N = (len-1)/16 ops
 //	MDEL  (9)  key*                batch delete, N = (len-1)/8 ops
 //	SCAN  (10) lo hi limit cursor  ordered range scan from max(lo, cursor)
+//	SCRUB (11) mode                mode 0: scrub health; mode 1: run a full
+//	                               pass (incremental, traffic interleaved)
+//	INJECT(12) seed count          corrupt count random live objects
+//	                               (fault-injection test hook, like CRASH)
 //
 // Batch ops carry no explicit count — the frame length delimits them — but
 // the payload must be a whole number of ops, at least 1 and at most
@@ -161,7 +214,9 @@
 //	               SCAN → more(1 B) next-cursor(uint64 BE)
 //	                      (key(uint64 BE) value(uint64 BE))*,
 //	               at most MaxScanPairs pairs per frame, ascending,
-//	               N = (len-10)/16
+//	               N = (len-10)/16;
+//	               SCRUB → JSON (server.ScrubStatus);
+//	               INJECT → injected-count(uint64 BE)
 //	NOT_FOUND (1)  GET or DEL of an absent key; empty body
 //	ERR       (2)  body is a UTF-8 error message
 //

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pangolin-go/pangolin/internal/shard"
+)
+
+// startMaintServer boots a server over a fresh set with the given
+// options and returns its address.
+func startMaintServer(t *testing.T, opts shard.Options) (string, *shard.Set) {
+	t.Helper()
+	set, err := shard.Create(t.TempDir(), 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(set)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		set.Abandon()
+	})
+	return srv.Addr().String(), set
+}
+
+// TestScrubOpEndToEnd exercises SCRUB(11) and INJECT(12) over TCP: a
+// client injects live faults, a triggered pass heals them and says so,
+// the health block reflects the work, and STATS carries the same scrub
+// health fields.
+func TestScrubOpEndToEnd(t *testing.T) {
+	addr, _ := startMaintServer(t, shard.Options{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(0); k < 512; k++ {
+		if err := c.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Health-only SCRUB runs nothing.
+	st, err := c.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ran {
+		t.Fatal("mode-0 SCRUB claimed to have run a pass")
+	}
+
+	injected, err := c.Inject(2, 6) // mixed seeds: scribbles + poison
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected == 0 {
+		t.Fatal("INJECT corrupted nothing on a populated store")
+	}
+
+	st, err = c.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ran {
+		t.Fatal("mode-1 SCRUB did not run")
+	}
+	if st.Report.Fixed() == 0 {
+		t.Fatalf("pass repaired nothing after %d injections: %+v", injected, st.Report)
+	}
+	if st.Report.Unrecovered != 0 {
+		t.Fatalf("injected faults unrecoverable: %+v", st.Report)
+	}
+	if !st.Report.ChecksumsVerified {
+		t.Fatalf("MLPC pass must verify checksums: %+v", st.Report)
+	}
+
+	// Data intact after healing.
+	for k := uint64(0); k < 512; k += 5 {
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || v != k {
+			t.Fatalf("get %d after heal = (%d,%v,%v)", k, v, ok, err)
+		}
+	}
+
+	// The same health fields ride in STATS.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScrubSteps == 0 {
+		t.Fatalf("STATS lost scrub health: %+v", stats)
+	}
+}
+
+// TestScrubBackgroundHealsOverTCP: with the maintenance scheduler on,
+// injected corruption is healed with no client request asking for it —
+// the bg_repairs counter the loadtest corruption phase gates on.
+func TestScrubBackgroundHealsOverTCP(t *testing.T) {
+	addr, _ := startMaintServer(t, shard.Options{ScrubInterval: time.Millisecond})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(0); k < 512; k++ {
+		if err := c.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Inject(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Scrub(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Health.BgRepairs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background scrubber never repaired: %+v", st.Health)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// last_full_pass_unix advances once every shard wraps a pass.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Scrub(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Health.LastFullPass > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no full pass completed: %+v", st.Health)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestScrubUnknownMode: a bad mode is rejected with ERR, not silently
+// treated as health-or-pass.
+func TestScrubUnknownMode(t *testing.T) {
+	addr, _ := startMaintServer(t, shard.Options{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.roundTrip(Request{Op: OpScrub, Key: 7}); err == nil {
+		t.Fatal("scrub mode 7 accepted")
+	}
+}

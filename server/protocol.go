@@ -23,10 +23,12 @@ const (
 	OpStats uint8 = 4  // → JSON body
 	OpSync  uint8 = 5  // save every shard snapshot
 	OpCrash uint8 = 6  // seed → write crash images, then the server dies
-	OpMGet  uint8 = 7  // N keys → N (found, value) records
-	OpMPut  uint8 = 8  // N (key, value) pairs → N status bytes
-	OpMDel  uint8 = 9  // N keys → N status bytes
-	OpScan  uint8 = 10 // lo, hi, limit, cursor → more, next-cursor, (key value)*
+	OpMGet   uint8 = 7  // N keys → N (found, value) records
+	OpMPut   uint8 = 8  // N (key, value) pairs → N status bytes
+	OpMDel   uint8 = 9  // N keys → N status bytes
+	OpScan   uint8 = 10 // lo, hi, limit, cursor → more, next-cursor, (key value)*
+	OpScrub  uint8 = 11 // mode (0 health only, 1 run a full pass) → JSON body
+	OpInject uint8 = 12 // seed, count → injected count (fault-injection test hook)
 )
 
 // Per-op status bytes inside an MGET/MPUT/MDEL response body (the frame
@@ -97,10 +99,11 @@ func appendU64(b []byte, v uint64) []byte {
 }
 
 // Request is a decoded client request. Single-field ops (OpGet, OpDel,
-// OpCrash) carry their field — key or seed — in Key. OpScan carries its
-// bounds in Key (lo) and Val (hi) plus Limit and Cursor. Batch ops carry
-// Keys (MGET, MDEL) or Keys+Vals pairwise (MPUT); decoded slices alias
-// nothing and are safe to retain.
+// OpCrash, OpScrub) carry their field — key, seed, or scrub mode — in
+// Key. OpInject carries its seed in Key and its fault count in Val.
+// OpScan carries its bounds in Key (lo) and Val (hi) plus Limit and
+// Cursor. Batch ops carry Keys (MGET, MDEL) or Keys+Vals pairwise
+// (MPUT); decoded slices alias nothing and are safe to retain.
 type Request struct {
 	Op     uint8
 	Key    uint64
@@ -126,8 +129,10 @@ func fieldCount(op uint8) (int, error) {
 		return 2, nil
 	case OpStats, OpSync:
 		return 0, nil
-	case OpCrash:
+	case OpCrash, OpScrub:
 		return 1, nil
+	case OpInject:
+		return 2, nil
 	case OpScan:
 		return 4, nil
 	case OpMGet, OpMPut, OpMDel:

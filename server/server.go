@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/pangolin-go/pangolin"
 	"github.com/pangolin-go/pangolin/internal/shard"
 )
 
@@ -17,6 +18,25 @@ type Stats = shard.Stats
 
 // Pair is one key/value pair in a SCAN response.
 type Pair = shard.Pair
+
+// ScrubHealth is the maintenance subsystem's health block, carried by
+// both STATS (inside the shard stats) and SCRUB responses.
+type ScrubHealth = shard.ScrubHealth
+
+// ScrubStatus is the JSON payload of a SCRUB response: the set-wide
+// maintenance health, plus — when the request asked for a pass — the
+// merged report of the full pass it ran.
+type ScrubStatus struct {
+	// Ran reports whether this request ran a full pass (mode 1); with
+	// mode 0 the response is health-only and Report is zero.
+	Ran bool `json:"ran"`
+	// Report is the merged full-pass report when Ran. Its
+	// checksums_verified field says whether object checksums were
+	// actually verified — false in checksum-less modes, where "0 bad
+	// objects" must not be read as "verified clean".
+	Report pangolin.ScrubReport `json:"report"`
+	Health ScrubHealth          `json:"health"`
+}
 
 // Server serves the KV protocol over TCP on top of a shard.Set. It owns
 // the network side only: the set is created and closed by the caller, so a
@@ -203,6 +223,16 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 		return s.handleBatch(out, req), false
 	case OpScan:
 		return s.handleScan(out, req), false
+	case OpScrub:
+		return s.handleScrub(out, req), false
+	case OpInject:
+		n, err := s.set.InjectFaults(int64(req.Key), int(req.Val))
+		if err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+		}
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], uint64(n))
+		return EncodeResponse(out, StatusOK, body[:]), false
 	case OpStats:
 		body, err := json.Marshal(s.set.Stats())
 		if err != nil {
@@ -254,6 +284,34 @@ func (s *Server) handleScan(out []byte, req Request) []byte {
 		out = binary.BigEndian.AppendUint64(out, pr.V)
 	}
 	return out
+}
+
+// handleScrub executes one SCRUB. Mode 0 reads the maintenance
+// subsystem's health without scrubbing anything; mode 1 additionally
+// triggers a full pass on every shard — run as bounded incremental
+// steps interleaved with each shard's client traffic, so even an
+// operator-triggered pass never stalls the pool — and waits for it. The
+// response body is the ScrubStatus JSON.
+func (s *Server) handleScrub(out []byte, req Request) []byte {
+	var st ScrubStatus
+	switch req.Key {
+	case 0:
+	case 1:
+		rep, err := s.set.Scrub()
+		if err != nil {
+			return EncodeResponse(out, StatusErr, []byte(err.Error()))
+		}
+		st.Ran = true
+		st.Report = rep
+	default:
+		return EncodeResponse(out, StatusErr, []byte(fmt.Sprintf("unknown scrub mode %d", req.Key)))
+	}
+	st.Health = s.set.ScrubHealth()
+	body, err := json.Marshal(st)
+	if err != nil {
+		return EncodeResponse(out, StatusErr, []byte(err.Error()))
+	}
+	return EncodeResponse(out, StatusOK, body)
 }
 
 // handleBatch executes one MGET/MPUT/MDEL. The ops are partitioned by
