@@ -24,7 +24,12 @@
 // frames, exercising the server's group-commit path; reported ops and
 // ops/sec still count individual operations, while the latency
 // percentiles describe whole round trips (one frame at -batch 1, one
-// batch otherwise). With -faults N the run doubles as the
+// batch otherwise). With -pipeline N each connection carries N
+// closed-loop workers concurrently — the client is pipelined, so up to
+// N requests ride one connection's in-flight window at once, and the
+// server folds the deeper shard queues into bigger group commits; the
+// report's group_batch_mean (batched_ops/batches from server_stats)
+// shows the achieved batch depth. With -faults N the run doubles as the
 // corruption-healing gate: a side connection INJECTs N live faults
 // while the load runs, a few more after it stops (so a read can't heal
 // everything first), and the run exits nonzero unless the server's
@@ -36,6 +41,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -62,6 +68,7 @@ type report struct {
 	Addr       string  `json:"addr"`
 	Clients    int     `json:"clients"`
 	Batch      int     `json:"batch"`
+	Pipeline   int     `json:"pipeline"`
 	Ops        uint64  `json:"ops"`
 	Errors     uint64  `json:"errors"`
 	ElapsedSec float64 `json:"elapsed_sec"`
@@ -73,8 +80,13 @@ type report struct {
 	ScanOpsPerSec float64           `json:"scan_ops_per_sec"`
 	Latency       latencyMS         `json:"latency_ms"`
 	Mix           map[string]uint64 `json:"mix"`
-	Server        *server.Stats     `json:"server_stats,omitempty"`
-	CrashSent     bool              `json:"crash_sent"`
+	// GroupBatchMean is the server's achieved group-commit depth —
+	// batched_ops/batches from server_stats — the number pipelining is
+	// supposed to raise (deeper in-flight windows keep shard worker
+	// queues full, so each persist fence covers more operations).
+	GroupBatchMean float64       `json:"group_batch_mean,omitempty"`
+	Server         *server.Stats `json:"server_stats,omitempty"`
+	CrashSent      bool          `json:"crash_sent"`
 	// Corruption-healing accounting (with -faults): how many live
 	// objects INJECT corrupted during and after the load, and whether
 	// the server's background scrubber reported bg_repairs > 0 within
@@ -95,6 +107,7 @@ func main() {
 	scanLimit := flag.Int("scan-limit", 64, "pairs requested per SCAN frame")
 	seed := flag.Int64("seed", 1, "workload seed")
 	batch := flag.Int("batch", 1, "operations per client frame (1 = single-op GET/PUT/DEL, >1 = MGET/MPUT/MDEL)")
+	pipeline := flag.Int("pipeline", 1, "closed-loop workers per connection (each keeps one request in flight, so N workers pipeline N requests on one connection)")
 	crashAfter := flag.Bool("crash-after", false, "send CRASH when done (server dies with crash images)")
 	faults := flag.Int("faults", 0, "live faults to INJECT while the load runs (corruption-healing phase); the run then waits for the server's background scrubber to report bg_repairs > 0")
 	faultEvery := flag.Duration("fault-every", 50*time.Millisecond, "pause between INJECT frames")
@@ -112,6 +125,9 @@ func main() {
 	if *scanLimit < 1 || *scanLimit > server.MaxScanPairs {
 		log.Fatalf("pglload: -scan-limit must be in [1, %d]", server.MaxScanPairs)
 	}
+	if *pipeline < 1 || *pipeline > server.MaxWindow {
+		log.Fatalf("pglload: -pipeline must be in [1, %d]", server.MaxWindow)
+	}
 
 	var (
 		opCount   atomic.Uint64 // ops claimed
@@ -123,7 +139,8 @@ func main() {
 		scanOps   atomic.Uint64
 		scanPairs atomic.Uint64
 	)
-	latencies := make([][]time.Duration, *clients)
+	workers := *clients * *pipeline
+	latencies := make([][]time.Duration, workers)
 	var wg sync.WaitGroup
 
 	// Fault injector (with -faults): a side connection corrupts live
@@ -137,7 +154,7 @@ func main() {
 		injectWG.Add(1)
 		go func() {
 			defer injectWG.Done()
-			c, err := server.Dial(*addr)
+			c, err := server.Dial(context.Background(), *addr)
 			if err != nil {
 				log.Printf("pglload: fault injector: %v", err)
 				return
@@ -159,103 +176,120 @@ func main() {
 		}()
 	}
 
+	// runWorker is one closed-loop worker: it claims ops from the shared
+	// budget and keeps exactly one request in flight on c until the
+	// budget runs out. With -pipeline N, N workers share each connection
+	// — the pipelined client interleaves their frames on one socket.
+	runWorker := func(c *server.Client, slot int) {
+		rng := rand.New(rand.NewSource(*seed + int64(slot)))
+		lats := make([]time.Duration, 0, int(*ops/uint64(workers)*2))
+		// Keep whatever was measured even if this worker errors out
+		// mid-run, so the report reflects the ops that did execute.
+		defer func() { latencies[slot] = lats }()
+		kbuf := make([]uint64, 0, *batch)
+		vbuf := make([]uint64, 0, *batch)
+		for {
+			// Claim up to -batch ops from the shared budget; the
+			// final claim may be short.
+			end := opCount.Add(uint64(*batch))
+			first := end - uint64(*batch) + 1
+			if first > *ops {
+				break
+			}
+			count := *batch
+			if end > *ops {
+				count = int(*ops - first + 1)
+			}
+			kbuf = kbuf[:0]
+			for i := 0; i < count; i++ {
+				kbuf = append(kbuf, rng.Uint64()%*keys)
+			}
+			// Each round trip is one op type, so a batch maps to one
+			// MGET/MPUT/MDEL frame; the dice keep the requested mix
+			// across rounds.
+			dice := rng.Float64()
+			t0 := time.Now()
+			var err error
+			switch {
+			case dice < *scans:
+				// One SCAN frame from a uniform lo, verified
+				// client-side: pairs must ascend, respect the bounds,
+				// and fit the limit — the wire-level proof of the
+				// ordered-scan contract under live writers.
+				scanOps.Add(uint64(count))
+				lo := kbuf[0]
+				var ps []server.Pair
+				ps, _, _, err = c.Scan(lo, ^uint64(0), *scanLimit, 0)
+				if err == nil {
+					if len(ps) > *scanLimit {
+						err = fmt.Errorf("scan returned %d pairs, limit %d", len(ps), *scanLimit)
+					}
+					for i, pr := range ps {
+						if pr.K < lo || (i > 0 && pr.K <= ps[i-1].K) {
+							err = fmt.Errorf("scan order/bounds violation at pair %d (key %d, lo %d)", i, pr.K, lo)
+							break
+						}
+					}
+					scanPairs.Add(uint64(len(ps)))
+				}
+			case dice < *scans+*reads:
+				gets.Add(uint64(count))
+				if count == 1 {
+					_, _, err = c.Get(kbuf[0])
+				} else {
+					_, _, err = c.MGet(kbuf)
+				}
+			case dice < *scans+*reads+*dels:
+				delOps.Add(uint64(count))
+				if count == 1 {
+					_, err = c.Del(kbuf[0])
+				} else {
+					_, err = c.MDel(kbuf)
+				}
+			default:
+				puts.Add(uint64(count))
+				if count == 1 {
+					err = c.Put(kbuf[0], rng.Uint64())
+				} else {
+					vbuf = vbuf[:0]
+					for range kbuf {
+						vbuf = append(vbuf, rng.Uint64())
+					}
+					err = c.MPut(kbuf, vbuf)
+				}
+			}
+			lats = append(lats, time.Since(t0))
+			if err != nil {
+				errCount.Add(1)
+				log.Printf("pglload: worker %d: %v", slot, err)
+				return
+			}
+			opsDone.Add(uint64(count))
+		}
+	}
+
 	start := time.Now()
 	for id := 0; id < *clients; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			c, err := server.Dial(*addr)
+			c, err := server.Dial(context.Background(), *addr,
+				server.WithPipelineDepth(*pipeline))
 			if err != nil {
 				log.Printf("pglload: client %d: %v", id, err)
 				errCount.Add(1)
 				return
 			}
 			defer c.Close()
-			rng := rand.New(rand.NewSource(*seed + int64(id)))
-			lats := make([]time.Duration, 0, int(*ops/uint64(*clients)*2))
-			// Keep whatever was measured even if this client errors out
-			// mid-run, so the report reflects the ops that did execute.
-			defer func() { latencies[id] = lats }()
-			kbuf := make([]uint64, 0, *batch)
-			vbuf := make([]uint64, 0, *batch)
-			for {
-				// Claim up to -batch ops from the shared budget; the
-				// final claim may be short.
-				end := opCount.Add(uint64(*batch))
-				first := end - uint64(*batch) + 1
-				if first > *ops {
-					break
-				}
-				count := *batch
-				if end > *ops {
-					count = int(*ops - first + 1)
-				}
-				kbuf = kbuf[:0]
-				for i := 0; i < count; i++ {
-					kbuf = append(kbuf, rng.Uint64()%*keys)
-				}
-				// Each round trip is one op type, so a batch maps to one
-				// MGET/MPUT/MDEL frame; the dice keep the requested mix
-				// across rounds.
-				dice := rng.Float64()
-				t0 := time.Now()
-				var err error
-				switch {
-				case dice < *scans:
-					// One SCAN frame from a uniform lo, verified
-					// client-side: pairs must ascend, respect the bounds,
-					// and fit the limit — the wire-level proof of the
-					// ordered-scan contract under live writers.
-					scanOps.Add(uint64(count))
-					lo := kbuf[0]
-					var ps []server.Pair
-					ps, _, _, err = c.Scan(lo, ^uint64(0), *scanLimit, 0)
-					if err == nil {
-						if len(ps) > *scanLimit {
-							err = fmt.Errorf("scan returned %d pairs, limit %d", len(ps), *scanLimit)
-						}
-						for i, pr := range ps {
-							if pr.K < lo || (i > 0 && pr.K <= ps[i-1].K) {
-								err = fmt.Errorf("scan order/bounds violation at pair %d (key %d, lo %d)", i, pr.K, lo)
-								break
-							}
-						}
-						scanPairs.Add(uint64(len(ps)))
-					}
-				case dice < *scans+*reads:
-					gets.Add(uint64(count))
-					if count == 1 {
-						_, _, err = c.Get(kbuf[0])
-					} else {
-						_, _, err = c.MGet(kbuf)
-					}
-				case dice < *scans+*reads+*dels:
-					delOps.Add(uint64(count))
-					if count == 1 {
-						_, err = c.Del(kbuf[0])
-					} else {
-						_, err = c.MDel(kbuf)
-					}
-				default:
-					puts.Add(uint64(count))
-					if count == 1 {
-						err = c.Put(kbuf[0], rng.Uint64())
-					} else {
-						vbuf = vbuf[:0]
-						for range kbuf {
-							vbuf = append(vbuf, rng.Uint64())
-						}
-						err = c.MPut(kbuf, vbuf)
-					}
-				}
-				lats = append(lats, time.Since(t0))
-				if err != nil {
-					errCount.Add(1)
-					log.Printf("pglload: client %d: %v", id, err)
-					return
-				}
-				opsDone.Add(uint64(count))
+			var cwg sync.WaitGroup
+			for w := 0; w < *pipeline; w++ {
+				cwg.Add(1)
+				go func(slot int) {
+					defer cwg.Done()
+					runWorker(c, slot)
+				}(id**pipeline + w)
 			}
+			cwg.Wait()
 		}(id)
 	}
 	wg.Wait()
@@ -283,6 +317,7 @@ func main() {
 		Addr:          *addr,
 		Clients:       *clients,
 		Batch:         *batch,
+		Pipeline:      *pipeline,
 		Ops:           opsDone.Load(),
 		Errors:        errCount.Load(),
 		ElapsedSec:    elapsed.Seconds(),
@@ -300,7 +335,7 @@ func main() {
 	}
 
 	// Fetch server-side stats, and optionally send the simulated crash.
-	if c, err := server.Dial(*addr); err == nil {
+	if c, err := server.Dial(context.Background(), *addr); err == nil {
 		if *faults > 0 {
 			// Post-load faults are the deterministic part of the gate:
 			// with the traffic stopped, only the background scrubber can
@@ -334,6 +369,9 @@ func main() {
 		}
 		if st, err := c.Stats(); err == nil {
 			rep.Server = &st
+			if st.Batches > 0 {
+				rep.GroupBatchMean = float64(st.BatchedOps) / float64(st.Batches)
+			}
 		}
 		if *crashAfter {
 			if err := c.Crash(*seed); err != nil {

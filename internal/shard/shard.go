@@ -367,6 +367,63 @@ func (s *Set) Del(k uint64) (bool, error) {
 	return r.ok, r.err
 }
 
+// Submit queues one operation for asynchronous completion: done is
+// invoked exactly once with the result, from the shard worker goroutine
+// when the op executes (or synchronously, when it can be served or
+// rejected without the worker). done must not block: it runs inside the
+// shard's commit loop, so a blocking callback would stall every other
+// op on the shard. This is the path the server's pipelined connections
+// feed — submitted writes flow straight into the shard worker queue,
+// where the group-commit drain folds every queued op into one
+// transaction, so deeper pipelines directly produce bigger groups.
+//
+// A BatchGet first tries the concurrent verified-read fast path on the
+// caller's goroutine (same rules as Get) and completes inline when it
+// is served; only fallback reads take the queue. If the submitting
+// shard is shutting down, done receives a typed ErrShuttingDown result
+// — an in-flight op never disappears silently.
+func (s *Set) Submit(op BatchOp, done func(BatchResult)) {
+	switch op.Kind {
+	case BatchGet:
+		s.SubmitGet(op.K, done)
+	case BatchPut:
+		s.SubmitPut(op.K, op.V, done)
+	case BatchDel:
+		s.SubmitDel(op.K, done)
+	default:
+		done(BatchResult{Err: fmt.Errorf("shard: unknown batch kind %d", op.Kind)})
+	}
+}
+
+// SubmitGet is Submit for a read: the verified-read fast path runs
+// inline on the caller's goroutine when it can (completing done before
+// SubmitGet returns), and gate-busy or faulting reads fall back to the
+// worker queue's repairing path.
+func (s *Set) SubmitGet(k uint64, done func(BatchResult)) {
+	w := s.workers[s.ShardOf(k)]
+	if v, ok, err, served := w.fastGet(k); served {
+		done(BatchResult{V: v, OK: ok, Err: err})
+		return
+	}
+	w.submit(request{op: opGet, k: k, done: func(r response) {
+		done(BatchResult{V: r.v, OK: r.ok, Err: r.err})
+	}})
+}
+
+// SubmitPut is Submit for an insert/update.
+func (s *Set) SubmitPut(k, v uint64, done func(BatchResult)) {
+	s.workers[s.ShardOf(k)].submit(request{op: opPut, k: k, v: v, done: func(r response) {
+		done(BatchResult{OK: r.err == nil, Err: r.err})
+	}})
+}
+
+// SubmitDel is Submit for a delete; the result's OK reports presence.
+func (s *Set) SubmitDel(k uint64, done func(BatchResult)) {
+	s.workers[s.ShardOf(k)].submit(request{op: opDel, k: k, done: func(r response) {
+		done(BatchResult{OK: r.ok, Err: r.err})
+	}})
+}
+
 // Batch executes ops and returns their results in matching order. The
 // ops are partitioned by shard; each shard executes its slice inside one
 // group-committed transaction (its commit is the linearization point for

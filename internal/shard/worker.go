@@ -57,6 +57,24 @@ type request struct {
 	seed  int64
 	ops   []BatchOp // opBatch
 	reply chan response
+	// done is the asynchronous completion path: when set (Submit), the
+	// worker invokes it exactly once with the response instead of
+	// sending on reply. It runs on the worker goroutine (or the
+	// submitter's, when the shard is already closed), so it must be
+	// non-blocking — the server's pipelined connections reserve
+	// completion-buffer capacity for every in-flight op to guarantee
+	// that.
+	done func(response)
+}
+
+// deliver answers req exactly once, through whichever completion path it
+// carries.
+func (req *request) deliver(r response) {
+	if req.done != nil {
+		req.done(r)
+		return
+	}
+	req.reply <- r
 }
 
 type response struct {
@@ -365,6 +383,25 @@ func (w *worker) send(req request) chan response {
 // do enqueues req and waits for the response.
 func (w *worker) do(req request) response { return <-w.send(req) }
 
+// submit enqueues req for asynchronous completion: req.done is invoked
+// exactly once with the result — on the worker goroutine when the
+// request executes, or synchronously here when the shard is already
+// shutting down (typed ErrShuttingDown, never a silent drop). Like
+// send, the enqueue may block on a full queue; that is the backpressure
+// signal the server's pipelined reader relies on.
+func (w *worker) submit(req request) {
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		req.done(response{err: fmt.Errorf("shard %d: %w", w.idx, ErrShuttingDown)})
+		return
+	}
+	w.senders.Add(1)
+	w.mu.RUnlock()
+	w.reqs <- req // may block on a full queue; the loop keeps draining
+	w.senders.Done()
+}
+
 // trySend is send without ever blocking: it fails instead of waiting
 // when the worker is shutting down or the queue is full. The maintenance
 // scheduler uses it so a scrub step can never back-pressure client
@@ -455,7 +492,7 @@ func (w *worker) loop() {
 				w.startFullScrub(req.reply)
 				continue
 			}
-			req.reply <- w.handleLocked(req)
+			req.deliver(w.handleLocked(req))
 			continue
 		}
 		// Opportunistic group: drain whatever is already queued, up to
@@ -496,7 +533,7 @@ func (w *worker) loop() {
 			if barrier.op == opScrub {
 				w.startFullScrub(barrier.reply)
 			} else {
-				barrier.reply <- w.handleLocked(barrier)
+				barrier.deliver(w.handleLocked(barrier))
 			}
 		}
 	}
@@ -578,7 +615,7 @@ func (w *worker) runGroup(group []request) {
 			end := min(start+w.maxBatch, len(req.ops))
 			out = append(out, w.execBatchChunk(req.ops[start:end])...)
 		}
-		req.reply <- response{batch: out}
+		req.deliver(response{batch: out})
 		return
 	}
 	muts, total := 0, 0
@@ -597,7 +634,7 @@ func (w *worker) runGroup(group []request) {
 	}
 	if muts == 0 || total <= 1 {
 		for _, r := range group {
-			r.reply <- w.handle(r)
+			r.deliver(w.handle(r))
 		}
 		return
 	}
@@ -617,7 +654,7 @@ func (w *worker) runGroup(group []request) {
 		w.batchedOps += uint64(total)
 		for i, r := range group {
 			w.countGroup(group[i], resps[i])
-			r.reply <- resps[i]
+			r.deliver(resps[i])
 		}
 		return
 	}
@@ -626,7 +663,7 @@ func (w *worker) runGroup(group []request) {
 	// batchmates; each waiter gets its op's own verdict.
 	w.groupFallbacks++
 	for _, r := range group {
-		r.reply <- w.handle(r)
+		r.deliver(w.handle(r))
 	}
 }
 

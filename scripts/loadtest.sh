@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # loadtest.sh — the serve → load → crash → check acceptance loop.
 #
-# Boots pglserve with $SHARDS shards and drives it through eight phases
+# Boots pglserve with $SHARDS shards and drives it through nine phases
 # (restarting the server — same data directory, clean sync + reopen —
 # where a server-side switch changes):
 #
@@ -37,7 +37,21 @@
 #                         the phase's p99 vs phase 5's identical mix
 #                         lands in compare.json (recorded, not
 #                         ratio-gated: single-core CI container)
-#   7. crash mid-batch:   a background batch load is still running when the
+#   7. pipeline sweep:    the mixed single-op workload twice over the v2
+#                         pipelined wire protocol — $PIPE_CLIENTS
+#                         connections at in-flight depth 1, then depth
+#                         $PIPE_DEPTH — against a freshly restarted
+#                         server each time, so batches/batched_ops
+#                         counters isolate one run. Gated on 0 errors in
+#                         both runs and on the deep run's achieved
+#                         group-commit size (batched_ops/batches)
+#                         strictly exceeding the depth-1 run's: the
+#                         pipelining → deeper worker queues → bigger
+#                         group commits mechanism, proven from server
+#                         counters. pipeline_speedup (deep vs depth-1
+#                         ops/sec) lands in compare.json as a recorded
+#                         trajectory, not a gate (single-core CI)
+#   8. crash mid-batch:   a background batch load is still running when the
 #                         CRASH frame lands — with the scrubber still
 #                         interleaving steps — so shards die with batch
 #                         transactions in flight; every shard snapshot must
@@ -45,8 +59,10 @@
 #
 # compare.json records per-op vs batch ops/sec (speedup), serial vs
 # fast read ops/sec (read_speedup), the scan phase's scan_ops_per_sec,
-# and the corruption phase's scrub health (bg_repairs, scrub_steps,
-# scrub_backoffs, scrub_p99_ratio); CI uploads it with the phase reports.
+# the corruption phase's scrub health (bg_repairs, scrub_steps,
+# scrub_backoffs, scrub_p99_ratio), and the pipeline sweep's
+# pipeline_speedup with both group-commit means; CI uploads it with the
+# phase reports.
 # MIN_SPEEDUP / MIN_READ_SPEEDUP fail the run when a ratio falls below
 # the bound (default 1.0 — the optimized path must never be slower; the
 # ISSUE-3 acceptance target for reads is 2.0, which holds on dedicated
@@ -65,6 +81,8 @@ MIN_SPEEDUP=${MIN_SPEEDUP:-1.0}
 MIN_READ_SPEEDUP=${MIN_READ_SPEEDUP:-1.0}
 FAULTS=${FAULTS:-40}
 SCRUB_INTERVAL=${SCRUB_INTERVAL:-2ms}
+PIPE_CLIENTS=${PIPE_CLIENTS:-8}
+PIPE_DEPTH=${PIPE_DEPTH:-64}
 WORKDIR=${WORKDIR:-$(mktemp -d /tmp/pgl-loadtest.XXXXXX)}
 
 cd "$(dirname "$0")/.."
@@ -145,7 +163,21 @@ start_server serve-scrub -scrub-interval "$SCRUB_INTERVAL"
     -reads 0.8 -scans 0.1 -dels 0 -faults "$FAULTS" \
     | tee "$WORKDIR/load-scrub.json"
 
-echo "# phase 7: crash while a batch load is in flight (scrubber still on)" >&2
+echo "# phase 7: pipeline sweep (depth 1 vs $PIPE_DEPTH, $PIPE_CLIENTS connections)" >&2
+# Fresh server per run: batches/batched_ops then count one run only, so
+# the group-commit depth comparison below is clean.
+stop_server
+start_server serve-pipe1
+./bin/pglload -addr "$ADDR" -clients "$PIPE_CLIENTS" -ops "$OPS" -seed 8 -pipeline 1 \
+    | tee "$WORKDIR/load-pipe1.json"
+stop_server
+start_server serve-pipe-deep
+./bin/pglload -addr "$ADDR" -clients "$PIPE_CLIENTS" -ops "$OPS" -seed 8 -pipeline "$PIPE_DEPTH" \
+    | tee "$WORKDIR/load-pipe-deep.json"
+
+echo "# phase 8: crash while a batch load is in flight (scrubber still on)" >&2
+stop_server
+start_server serve-crash -scrub-interval "$SCRUB_INTERVAL"
 # The background load runs until the server dies under it; its client
 # errors are expected (the crash kills their connections mid-frame).
 ./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops 10000000 -seed 3 -batch "$BATCH" \
@@ -174,7 +206,7 @@ done
 # Every measured phase must be error-free (scan errors include pglload's
 # client-side order/bounds verification of every SCAN response; scrub
 # errors would be corruption a client op observed).
-for phase in perop batch read-serial read-fast scan scrub; do
+for phase in perop batch read-serial read-fast scan scrub pipe1 pipe-deep; do
     errors=$(sed -n 's/.*"errors": \([0-9]*\),.*/\1/p' "$WORKDIR/load-$phase.json" | head -n 1)
     if [ "${errors:-1}" != "0" ]; then
         echo "loadtest: FAILED with $errors client errors in $phase phase" >&2
@@ -215,8 +247,20 @@ if [ "${BG_REPAIRS:-0}" = "0" ]; then
     status=1
 fi
 
-# Record the per-op vs batch, serial vs fast read, scan, and scrub
-# trajectories.
+# The deep pipeline run must achieve strictly bigger group commits than
+# the depth-1 run — the wire-level proof that pipelining feeds the shard
+# workers' group commit (each server was fresh, so the counters are per
+# run). group_batch_mean is omitted from a report when no group commits
+# happened at all, so default it to 0.
+GBM1=$(sed -n 's/.*"group_batch_mean": \([0-9.]*\),*.*/\1/p' "$WORKDIR/load-pipe1.json" | head -n 1)
+GBMDEEP=$(sed -n 's/.*"group_batch_mean": \([0-9.]*\),*.*/\1/p' "$WORKDIR/load-pipe-deep.json" | head -n 1)
+if ! awk -v a="${GBM1:-0}" -v b="${GBMDEEP:-0}" 'BEGIN { exit !(b > a) }'; then
+    echo "loadtest: FAILED pipelining did not deepen group commits (depth 1 mean ${GBM1:-0}, depth $PIPE_DEPTH mean ${GBMDEEP:-0})" >&2
+    status=1
+fi
+
+# Record the per-op vs batch, serial vs fast read, scan, scrub, and
+# pipeline trajectories.
 PEROP=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-perop.json" | head -n 1)
 BATCHOPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-batch.json" | head -n 1)
 READSERIAL=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-read-serial.json" | head -n 1)
@@ -228,19 +272,26 @@ SCANPAIRS=$(sed -n 's/.*"scan_pairs": \([0-9]*\),.*/\1/p' "$WORKDIR/load-scan.js
 # latency cost; recorded, not gated, on the single-core container).
 SCANP99=$(sed -n 's/.*"p99": \([0-9.]*\),.*/\1/p' "$WORKDIR/load-scan.json" | head -n 1)
 SCRUBP99=$(sed -n 's/.*"p99": \([0-9.]*\),.*/\1/p' "$WORKDIR/load-scrub.json" | head -n 1)
+PIPE1OPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-pipe1.json" | head -n 1)
+PIPEDEEPOPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-pipe-deep.json" | head -n 1)
 awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEEDUP" \
     -v rs="${READSERIAL:-0}" -v rf="${READFAST:-0}" -v rfrac="$READ_FRAC" -v rmin="$MIN_READ_SPEEDUP" \
     -v fg="${FAST_GETS:-0}" -v so="${SCANOPS:-0}" -v sp="${SCANPAIRS:-0}" -v fs="${FAST_SCANS:-0}" \
     -v br="${BG_REPAIRS:-0}" -v ss="${SCRUB_STEPS:-0}" -v sb="${SCRUB_BACKOFFS:-0}" \
-    -v fi="${FAULTS_INJECTED:-0}" -v sp99="${SCANP99:-0}" -v scp99="${SCRUBP99:-0}" 'BEGIN {
+    -v fi="${FAULTS_INJECTED:-0}" -v sp99="${SCANP99:-0}" -v scp99="${SCRUBP99:-0}" \
+    -v p1="${PIPE1OPS:-0}" -v pd="${PIPEDEEPOPS:-0}" -v pdepth="$PIPE_DEPTH" \
+    -v g1="${GBM1:-0}" -v gd="${GBMDEEP:-0}" 'BEGIN {
     s = (p > 0) ? b / p : 0
     r = (rs > 0) ? rf / rs : 0
     p99r = (sp99 > 0) ? scp99 / sp99 : 0
+    ps = (p1 > 0) ? pd / p1 : 0
     printf "{\n"
     printf "  \"per_op_ops_per_sec\": %.1f,\n  \"batch_ops_per_sec\": %.1f,\n  \"batch\": %d,\n  \"speedup\": %.2f,\n  \"min_speedup\": %.2f,\n", p, b, batch, s, min
     printf "  \"read_serial_ops_per_sec\": %.1f,\n  \"read_fast_ops_per_sec\": %.1f,\n  \"read_fraction\": %s,\n  \"fast_gets\": %d,\n  \"read_speedup\": %.2f,\n  \"min_read_speedup\": %.2f,\n", rs, rf, rfrac, fg, r, rmin
     printf "  \"scan_ops_per_sec\": %.1f,\n  \"scan_pairs\": %d,\n  \"fast_scans\": %d,\n", so, sp, fs
-    printf "  \"faults_injected\": %d,\n  \"bg_repairs\": %d,\n  \"scrub_steps\": %d,\n  \"scrub_backoffs\": %d,\n  \"scrub_p99_ratio\": %.2f\n", fi, br, ss, sb, p99r
+    printf "  \"faults_injected\": %d,\n  \"bg_repairs\": %d,\n  \"scrub_steps\": %d,\n  \"scrub_backoffs\": %d,\n  \"scrub_p99_ratio\": %.2f,\n", fi, br, ss, sb, p99r
+    printf "  \"pipe1_ops_per_sec\": %.1f,\n  \"pipe_deep_ops_per_sec\": %.1f,\n  \"pipe_depth\": %d,\n  \"pipeline_speedup\": %.2f,\n", p1, pd, pdepth, ps
+    printf "  \"group_batch_mean_depth1\": %.2f,\n  \"group_batch_mean_deep\": %.2f\n", g1, gd
     printf "}\n"
     exit !(s >= min && r >= rmin)
 }' | tee "$WORKDIR/compare.json" || {

@@ -2,88 +2,584 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 )
 
-// ErrClientClosed reports use of a closed Client.
-var ErrClientClosed = errors.New("server: client closed")
+// options collects the dial-time knobs; see the With… Option helpers.
+type options struct {
+	depth       int           // requested in-flight window (0 → server default)
+	dialTimeout time.Duration // connect timeout (0 → ctx only)
+	reqTimeout  time.Duration // per-op wait ceiling when ctx has no deadline
+	v1          bool          // speak legacy protocol v1 (no HELLO, in-order)
+}
 
-// Client is a synchronous connection to a KV server. One Client serves one
-// goroutine at a time; open one Client per concurrent worker (the load
-// generator's closed-loop clients do exactly that).
+// Option configures a Client at Dial time.
+type Option func(*options)
+
+// WithPipelineDepth requests an in-flight window of n operations: the
+// client keeps at most n requests outstanding on the wire at once. The
+// server grants min(n, MaxWindow) — the handshake reply carries the
+// grant — and the client honors the granted value. n <= 0 asks for the
+// server's default (DefaultWindow). Depth 1 degenerates to lockstep
+// request/reply; deeper windows keep shard group-commit batches full.
+func WithPipelineDepth(n int) Option {
+	return func(o *options) { o.depth = n }
+}
+
+// WithDialTimeout bounds the TCP connect (and v2 handshake) time,
+// composing with any deadline already on the Dial context.
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) { o.dialTimeout = d }
+}
+
+// WithRequestTimeout sets a default per-operation wait ceiling, applied
+// whenever the operation's context has no deadline of its own. Zero
+// (the default) waits indefinitely. A timed-out wait abandons the wait
+// only — the operation stays in flight and its window slot is released
+// when the server's reply eventually arrives.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(o *options) { o.reqTimeout = d }
+}
+
+// WithProtocolV1 skips the HELLO handshake and speaks the legacy
+// in-order protocol. The client still pipelines — v1 replies arrive in
+// request order, so matching is FIFO instead of by sequence number —
+// but all failures collapse to untyped errors, as v1 servers report
+// them. Mainly a compatibility and test hook.
+func WithProtocolV1() Option {
+	return func(o *options) { o.v1 = true }
+}
+
+// clientOp is one in-flight operation: its encoded request frame on the
+// way out, and its resolution (status+body or error) on the way back.
+// done closes exactly once, after which status/body/err are immutable.
+type clientOp struct {
+	seq     uint64
+	payload []byte
+	status  uint8
+	body    []byte // owned copy; valid forever
+	err     error
+	done    chan struct{}
+}
+
+// Client is a pipelined connection to a KV server. It is safe for
+// concurrent use by any number of goroutines: each call claims a slot
+// in the connection's in-flight window, ships its frame, and waits for
+// the matching reply — many calls overlap on one connection, which is
+// exactly what keeps the server's group-commit batches full. The
+// synchronous methods (Get, Put, …) keep their original signatures;
+// GetAsync/PutAsync/DelAsync and Pipeline expose the same window
+// without blocking per call.
+//
+// A wire or protocol failure is fatal to the connection: every
+// in-flight and future operation resolves with the error (never a
+// silent drop), and Err reports it.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
-	buf  []byte // reusable frame buffer
+
+	v2         bool
+	window     int           // granted in-flight window
+	reqTimeout time.Duration // see WithRequestTimeout
+
+	sem   chan struct{}  // one slot per in-flight op
+	sendq chan *clientOp // submit → writer goroutine
+	fatal chan struct{}  // closed once, when the client dies
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*clientOp // v2: seq → op
+	fifo    []*clientOp          // v1: replies arrive in request order
+	err     error                // fatal error; nil while healthy
+	closed  bool
+
+	readerDone chan struct{}
+	writerDone chan struct{}
 }
 
-// Dial connects to a KV server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a KV server and, unless WithProtocolV1 is given,
+// performs the HELLO handshake that switches the connection to the
+// pipelined v2 protocol. ctx bounds the connect and handshake;
+// per-operation deadlines come from the operation contexts (or
+// WithRequestTimeout).
+func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	d := net.Dialer{Timeout: o.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-	}, nil
+	c := &Client{
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		bw:         bufio.NewWriter(conn),
+		v2:         !o.v1,
+		reqTimeout: o.reqTimeout,
+		fatal:      make(chan struct{}),
+		pending:    make(map[uint64]*clientOp),
+		readerDone: make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	if c.v2 {
+		win, err := c.hello(ctx, o)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.window = win
+	} else {
+		c.window = o.depth
+		if c.window <= 0 {
+			c.window = DefaultWindow
+		}
+	}
+	// Capacity invariant: every op in sendq holds a window slot, so a
+	// submit that owns a slot can always enqueue without blocking.
+	c.sem = make(chan struct{}, c.window)
+	c.sendq = make(chan *clientOp, c.window)
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
 }
 
-// Close tears the connection down.
+// hello runs the v2 handshake on the fresh connection: one HELLO frame
+// out, one v1-framed ACK back carrying the negotiated version and the
+// granted window.
+func (c *Client) hello(ctx context.Context, o options) (int, error) {
+	if o.dialTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(o.dialTimeout))
+	} else if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	}
+	defer c.conn.SetDeadline(time.Time{})
+	req := Request{Op: OpHello, Key: HelloMagic, Val: ProtocolV2}
+	if o.depth > 0 {
+		req.Limit = uint64(o.depth)
+	}
+	payload, err := EncodeRequest(nil, req)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteFrame(c.bw, payload); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	resp, err := ReadFrame(c.br, nil)
+	if err != nil {
+		return 0, fmt.Errorf("server: reading HELLO ack: %w", err)
+	}
+	status, body, err := DecodeResponse(resp)
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK {
+		return 0, fmt.Errorf("server: HELLO rejected: %s", body)
+	}
+	if len(body) != 16 {
+		return 0, fmt.Errorf("server: HELLO ack body of %d bytes", len(body))
+	}
+	version := binary.BigEndian.Uint64(body)
+	win := binary.BigEndian.Uint64(body[8:])
+	if version != ProtocolV2 || win == 0 || win > MaxWindow {
+		return 0, fmt.Errorf("server: HELLO ack negotiated version %d, window %d", version, win)
+	}
+	return int(win), nil
+}
+
+// ProtocolVersion reports the negotiated wire protocol: 2 after a HELLO
+// handshake, 1 under WithProtocolV1.
+func (c *Client) ProtocolVersion() uint64 {
+	if c.v2 {
+		return ProtocolV2
+	}
+	return 1
+}
+
+// Window reports the in-flight window this connection operates under —
+// the server's grant on v2, the requested depth on v1.
+func (c *Client) Window() int { return c.window }
+
+// Err reports the connection's fatal error: nil while the client is
+// healthy, the first wire or protocol failure once it dies, and
+// ErrClientClosed after Close.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears the connection down. Every in-flight operation resolves
+// with ErrClientClosed — never a silent drop — and Close returns once
+// the connection's goroutines have exited.
 func (c *Client) Close() error {
-	if c.conn == nil {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
+	c.closed = true
+	c.mu.Unlock()
+	if c.sem == nil { // Dial failed before the loops started
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		return nil
+	}
+	c.fail(ErrClientClosed)
+	<-c.readerDone
+	<-c.writerDone
+	return nil
+}
+
+// fail kills the connection exactly once: records err, wakes every
+// blocked submitter, closes the socket (unblocking the reader), and
+// resolves every registered in-flight op with err. Ownership of each op
+// transfers under c.mu — either the reader resolves it with a reply or
+// fail resolves it with the error, never both.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pend := c.pending
+	c.pending = nil
+	fifo := c.fifo
+	c.fifo = nil
+	close(c.fatal)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, op := range pend {
+		op.err = err
+		close(op.done)
+	}
+	for _, op := range fifo {
+		op.err = err
+		close(op.done)
+	}
+}
+
+// submit claims a window slot, registers the op for reply matching, and
+// hands it to the writer goroutine. It never blocks past ctx: a full
+// window (all slots in flight) is backpressure, and the caller's ctx
+// bounds how long to wait for one. Failures resolve the returned op
+// immediately; it always resolves eventually.
+func (c *Client) submit(ctx context.Context, req Request) *clientOp {
+	op := &clientOp{done: make(chan struct{})}
+	var err error
+	if c.v2 {
+		// Seq placeholder up front; patched once the seq is assigned.
+		op.payload, err = EncodeRequestSeq(make([]byte, 0, 24), 0, req)
+	} else {
+		op.payload, err = EncodeRequest(make([]byte, 0, 16), req)
+	}
+	if err != nil {
+		op.err = err
+		close(op.done)
+		return op
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.fatal:
+		op.err = c.Err()
+		close(op.done)
+		return op
+	case <-ctx.Done():
+		op.err = fmt.Errorf("server: awaiting window slot: %w", ctx.Err())
+		close(op.done)
+		return op
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		<-c.sem
+		op.err = err
+		close(op.done)
+		return op
+	}
+	op.seq = c.seq
+	c.seq++
+	if c.v2 {
+		binary.BigEndian.PutUint64(op.payload, op.seq)
+		c.pending[op.seq] = op
+	} else {
+		c.fifo = append(c.fifo, op)
+	}
+	c.mu.Unlock()
+	c.sendq <- op // cannot block: sendq capacity == window, op holds a slot
+	return op
+}
+
+// writeLoop is the connection's writer goroutine: it streams queued
+// frames to the wire, flushing whenever the queue goes empty so a lone
+// request never sits in the buffer while deep pipelines coalesce into
+// few syscalls.
+func (c *Client) writeLoop() {
+	defer close(c.writerDone)
+	for {
+		select {
+		case op := <-c.sendq:
+			if err := WriteFrame(c.bw, op.payload); err != nil {
+				c.fail(err)
+				return
+			}
+			if len(c.sendq) == 0 {
+				if err := c.bw.Flush(); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		case <-c.fatal:
+			return
+		}
+	}
+}
+
+// readLoop is the connection's reader goroutine: it decodes reply
+// frames, matches each to its op — by echoed sequence number on v2,
+// FIFO on v1 — resolves the op, and releases its window slot. Any
+// decode or matching failure is a protocol error and kills the
+// connection.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		frame, err := ReadFrame(c.br, buf[:0])
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		buf = frame
+		var op *clientOp
+		var status uint8
+		var body []byte
+		if c.v2 {
+			seq, st, bd, err := DecodeResponseSeq(frame)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			op = c.pending[seq]
+			delete(c.pending, seq)
+			c.mu.Unlock()
+			if op == nil {
+				c.fail(fmt.Errorf("server: reply for unknown sequence %d", seq))
+				return
+			}
+			status, body = st, bd
+		} else {
+			st, bd, err := DecodeResponse(frame)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			if len(c.fifo) == 0 {
+				c.mu.Unlock()
+				c.fail(errors.New("server: unsolicited reply"))
+				return
+			}
+			op = c.fifo[0]
+			c.fifo = c.fifo[1:]
+			c.mu.Unlock()
+			status, body = st, bd
+		}
+		op.status = status
+		if len(body) > 0 {
+			op.body = append([]byte(nil), body...) // frame buffer is reused
+		}
+		if c.v2 {
+			op.err = statusError(status, body)
+		} else if status == StatusErr {
+			op.err = fmt.Errorf("server: %s", body)
+		} else if status == StatusNotFound {
+			op.err = ErrNotFound
+		}
+		close(op.done)
+		<-c.sem
+	}
+}
+
+// wait blocks until op resolves or ctx expires (WithRequestTimeout
+// supplies a deadline when ctx has none). Abandoning a wait does not
+// cancel the operation — it stays in flight and resolves when its
+// reply arrives.
+func (c *Client) wait(ctx context.Context, op *clientOp) (uint8, []byte, error) {
+	select {
+	case <-op.done:
+		return op.status, op.body, op.err
+	default:
+	}
+	if c.reqTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+			defer cancel()
+		}
+	}
+	select {
+	case <-op.done:
+		return op.status, op.body, op.err
+	case <-ctx.Done():
+		return 0, nil, fmt.Errorf("server: awaiting reply: %w", ctx.Err())
+	}
+}
+
+// call submits req and waits for its reply: the one-op synchronous
+// round trip, pipelining transparently with concurrent callers.
+func (c *Client) call(ctx context.Context, req Request) (uint8, []byte, error) {
+	return c.wait(ctx, c.submit(ctx, req))
+}
+
+// future is the shared core of the typed futures: a handle to one
+// in-flight operation.
+type future struct {
+	c  *Client
+	op *clientOp
+}
+
+// Done is closed once the operation resolves; read the result with the
+// typed Result method.
+func (f *future) Done() <-chan struct{} { return f.op.done }
+
+// GetFuture is an in-flight asynchronous GET.
+type GetFuture struct{ future }
+
+// Result waits for the GET and returns its value and presence.
+func (f *GetFuture) Result(ctx context.Context) (uint64, bool, error) {
+	_, body, err := f.c.wait(ctx, f.op)
+	if errors.Is(err, ErrNotFound) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if len(body) != 8 {
+		return 0, false, fmt.Errorf("server: GET response body of %d bytes", len(body))
+	}
+	return binary.BigEndian.Uint64(body), true, nil
+}
+
+// PutFuture is an in-flight asynchronous PUT.
+type PutFuture struct{ future }
+
+// Result waits for the PUT and returns its outcome.
+func (f *PutFuture) Result(ctx context.Context) error {
+	_, _, err := f.c.wait(ctx, f.op)
 	return err
 }
 
-// roundTrip sends req and returns the response status and body. The body
-// aliases the client's reusable buffer: it is valid until the next call.
-func (c *Client) roundTrip(req Request) (uint8, []byte, error) {
-	if c.conn == nil {
-		return 0, nil, ErrClientClosed
+// DelFuture is an in-flight asynchronous DEL.
+type DelFuture struct{ future }
+
+// Result waits for the DEL and reports whether the key was present.
+func (f *DelFuture) Result(ctx context.Context) (bool, error) {
+	_, _, err := f.c.wait(ctx, f.op)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
 	}
-	payload, err := EncodeRequest(c.buf[:0], req)
 	if err != nil {
-		return 0, nil, err
+		return false, err
 	}
-	if err := WriteFrame(c.bw, payload); err != nil {
-		return 0, nil, err
+	return true, nil
+}
+
+// GetAsync submits a GET without waiting for the reply. ctx bounds only
+// the wait for a window slot; read the result (bounded by its own ctx)
+// from the returned future. The future always resolves.
+func (c *Client) GetAsync(ctx context.Context, k uint64) *GetFuture {
+	return &GetFuture{future{c, c.submit(ctx, Request{Op: OpGet, Key: k})}}
+}
+
+// PutAsync submits a PUT without waiting for the reply.
+func (c *Client) PutAsync(ctx context.Context, k, v uint64) *PutFuture {
+	return &PutFuture{future{c, c.submit(ctx, Request{Op: OpPut, Key: k, Val: v})}}
+}
+
+// DelAsync submits a DEL without waiting for the reply.
+func (c *Client) DelAsync(ctx context.Context, k uint64) *DelFuture {
+	return &DelFuture{future{c, c.submit(ctx, Request{Op: OpDel, Key: k})}}
+}
+
+// Pipeline batches operations on one window: each Get/Put/Del submits
+// immediately (filling the wire back-to-back), and Wait collects every
+// outcome. Build a Pipeline from one goroutine; the underlying Client
+// remains safe for concurrent use, so independent goroutines can run
+// independent pipelines on the same connection.
+type Pipeline struct {
+	c   *Client
+	ctx context.Context
+	ops []*clientOp
+}
+
+// Pipeline starts an operation batch whose submissions and Wait are
+// bounded by ctx.
+func (c *Client) Pipeline(ctx context.Context) *Pipeline {
+	return &Pipeline{c: c, ctx: ctx}
+}
+
+// Get queues a GET on the pipeline.
+func (p *Pipeline) Get(k uint64) *GetFuture {
+	f := p.c.GetAsync(p.ctx, k)
+	p.ops = append(p.ops, f.op)
+	return f
+}
+
+// Put queues a PUT on the pipeline.
+func (p *Pipeline) Put(k, v uint64) *PutFuture {
+	f := p.c.PutAsync(p.ctx, k, v)
+	p.ops = append(p.ops, f.op)
+	return f
+}
+
+// Del queues a DEL on the pipeline.
+func (p *Pipeline) Del(k uint64) *DelFuture {
+	f := p.c.DelAsync(p.ctx, k)
+	p.ops = append(p.ops, f.op)
+	return f
+}
+
+// Len reports how many operations the pipeline has queued.
+func (p *Pipeline) Len() int { return len(p.ops) }
+
+// Wait blocks until every queued operation resolves and returns the
+// first failure, if any. Absent keys (ErrNotFound) are outcomes, not
+// failures — read them from the individual futures.
+func (p *Pipeline) Wait() error {
+	var first error
+	for _, op := range p.ops {
+		_, _, err := p.c.wait(p.ctx, op)
+		if err != nil && !errors.Is(err, ErrNotFound) && first == nil {
+			first = err
+		}
 	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, nil, err
-	}
-	resp, err := ReadFrame(c.br, payload[:0])
-	if err != nil {
-		return 0, nil, err
-	}
-	c.buf = resp
-	status, body, err := DecodeResponse(resp)
-	if err != nil {
-		return 0, nil, err
-	}
-	if status == StatusErr {
-		return status, nil, fmt.Errorf("server: %s", body)
-	}
-	return status, body, nil
+	return first
 }
 
 // Get fetches the value for k.
 func (c *Client) Get(k uint64) (uint64, bool, error) {
-	status, body, err := c.roundTrip(Request{Op: OpGet, Key: k})
+	_, body, err := c.call(context.Background(), Request{Op: OpGet, Key: k})
+	if errors.Is(err, ErrNotFound) {
+		return 0, false, nil
+	}
 	if err != nil {
 		return 0, false, err
-	}
-	if status == StatusNotFound {
-		return 0, false, nil
 	}
 	if len(body) != 8 {
 		return 0, false, fmt.Errorf("server: GET response body of %d bytes", len(body))
@@ -93,23 +589,26 @@ func (c *Client) Get(k uint64) (uint64, bool, error) {
 
 // Put inserts or updates k.
 func (c *Client) Put(k, v uint64) error {
-	_, _, err := c.roundTrip(Request{Op: OpPut, Key: k, Val: v})
+	_, _, err := c.call(context.Background(), Request{Op: OpPut, Key: k, Val: v})
 	return err
 }
 
 // Del removes k, reporting whether it was present.
 func (c *Client) Del(k uint64) (bool, error) {
-	status, _, err := c.roundTrip(Request{Op: OpDel, Key: k})
+	_, _, err := c.call(context.Background(), Request{Op: OpDel, Key: k})
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
 	if err != nil {
 		return false, err
 	}
-	return status == StatusOK, nil
+	return true, nil
 }
 
 // MGet fetches many keys in one round trip; the server group-commits each
 // shard's slice. It returns values and presence flags in key order.
 func (c *Client) MGet(keys []uint64) ([]uint64, []bool, error) {
-	status, body, err := c.roundTrip(Request{Op: OpMGet, Keys: keys})
+	status, body, err := c.call(context.Background(), Request{Op: OpMGet, Keys: keys})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -138,7 +637,7 @@ func (c *Client) MGet(keys []uint64) ([]uint64, []bool, error) {
 // failed op (the others are unaffected — see the batch semantics in the
 // package documentation).
 func (c *Client) MPut(keys, vals []uint64) error {
-	status, body, err := c.roundTrip(Request{Op: OpMPut, Keys: keys, Vals: vals})
+	status, body, err := c.call(context.Background(), Request{Op: OpMPut, Keys: keys, Vals: vals})
 	if err != nil {
 		return err
 	}
@@ -157,7 +656,7 @@ func (c *Client) MPut(keys, vals []uint64) error {
 // MDel removes many keys in one round trip; each shard's slice commits
 // as one transaction. It reports per-key presence in key order.
 func (c *Client) MDel(keys []uint64) ([]bool, error) {
-	status, body, err := c.roundTrip(Request{Op: OpMDel, Keys: keys})
+	status, body, err := c.call(context.Background(), Request{Op: OpMDel, Keys: keys})
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +685,7 @@ func (c *Client) MDel(keys []uint64) ([]bool, error) {
 // point-in-time snapshot across pages or shards (see the package
 // documentation).
 func (c *Client) Scan(lo, hi uint64, limit int, cursor uint64) (pairs []Pair, next uint64, more bool, err error) {
-	status, body, err := c.roundTrip(Request{
+	status, body, err := c.call(context.Background(), Request{
 		Op: OpScan, Key: lo, Val: hi, Limit: uint64(limit), Cursor: cursor,
 	})
 	if err != nil {
@@ -239,7 +738,7 @@ func (c *Client) Scrub(run bool) (ScrubStatus, error) {
 	if run {
 		mode = 1
 	}
-	_, body, err := c.roundTrip(Request{Op: OpScrub, Key: mode})
+	_, body, err := c.call(context.Background(), Request{Op: OpScrub, Key: mode})
 	if err != nil {
 		return st, err
 	}
@@ -256,7 +755,7 @@ func (c *Client) Scrub(run bool) (ScrubStatus, error) {
 // corrupted. Like CRASH, this is a test harness op, not a production
 // verb.
 func (c *Client) Inject(seed int64, count int) (uint64, error) {
-	status, body, err := c.roundTrip(Request{Op: OpInject, Key: uint64(seed), Val: uint64(count)})
+	status, body, err := c.call(context.Background(), Request{Op: OpInject, Key: uint64(seed), Val: uint64(count)})
 	if err != nil {
 		return 0, err
 	}
@@ -269,7 +768,7 @@ func (c *Client) Inject(seed int64, count int) (uint64, error) {
 // Stats fetches the server's shard statistics.
 func (c *Client) Stats() (Stats, error) {
 	var st Stats
-	_, body, err := c.roundTrip(Request{Op: OpStats})
+	_, body, err := c.call(context.Background(), Request{Op: OpStats})
 	if err != nil {
 		return st, err
 	}
@@ -281,7 +780,7 @@ func (c *Client) Stats() (Stats, error) {
 
 // Sync asks the server to save every shard snapshot.
 func (c *Client) Sync() error {
-	_, _, err := c.roundTrip(Request{Op: OpSync})
+	_, _, err := c.call(context.Background(), Request{Op: OpSync})
 	return err
 }
 
@@ -289,6 +788,6 @@ func (c *Client) Sync() error {
 // replaced with a crash image, and the server process is expected to die
 // without syncing. The call returns once the images are written.
 func (c *Client) Crash(seed int64) error {
-	_, _, err := c.roundTrip(Request{Op: OpCrash, Key: uint64(seed)})
+	_, _, err := c.call(context.Background(), Request{Op: OpCrash, Key: uint64(seed)})
 	return err
 }

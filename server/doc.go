@@ -176,11 +176,22 @@
 // # Wire protocol
 //
 // The protocol is length-prefixed binary over TCP. Every message is one
-// frame:
+// frame, and two payload layouts exist, negotiated per connection by
+// the first frame:
 //
-//	frame    := length(uint32 BE) payload          length excludes itself
-//	request  := op(1 B) field*                     field = uint64 BE
-//	response := status(1 B) body*
+//	frame       := length(uint32 BE) payload       length excludes itself
+//	v1 request  := op(1 B) field*                  field = uint64 BE
+//	v1 response := status(1 B) body*               in request order
+//	v2 request  := seq(uint64 BE) op(1 B) field*   client-chosen sequence
+//	v2 response := seq(uint64 BE) status(1 B) body*  any order
+//
+// A connection whose first frame is HELLO (op 13) carrying HelloMagic
+// speaks v2 — the pipelined protocol, below — from the next frame on.
+// Any other first frame selects v1, the original one-op-per-frame
+// in-order protocol, kept as the degenerate case so old clients work
+// unchanged against new servers. (The magic guard means a v1 request
+// that happens to carry opcode 13 is answered with ERR, never silently
+// promoted.)
 //
 // Requests (field layout after the opcode byte):
 //
@@ -198,6 +209,8 @@
 //	                               pass (incremental, traffic interleaved)
 //	INJECT(12) seed count          corrupt count random live objects
 //	                               (fault-injection test hook, like CRASH)
+//	HELLO (13) magic version window  first frame only: negotiate v2 with a
+//	                               requested in-flight window (0 = default)
 //
 // Batch ops carry no explicit count — the frame length delimits them — but
 // the payload must be a whole number of ops, at least 1 and at most
@@ -219,6 +232,18 @@
 //	               INJECT → injected-count(uint64 BE)
 //	NOT_FOUND (1)  GET or DEL of an absent key; empty body
 //	ERR       (2)  body is a UTF-8 error message
+//	CORRUPT   (3)  v2 only: the op failed on detected, unrepaired
+//	               corruption (pangolin.IsCorruption server-side)
+//	POISON    (4)  v2 only: the op failed on a media error
+//	               (pangolin.IsPoison server-side)
+//	SHUTDOWN  (5)  v2 only: the shard set is shutting down
+//
+// v1 connections collapse every failure to ERR — the statuses old
+// clients understand — while v2 classifies them so the client rebuilds
+// the in-process error taxonomy across the network: errors.Is(err,
+// ErrShuttingDown), pangolin.IsCorruption(err), and
+// pangolin.IsPoison(err) hold on a Client exactly as they would
+// in-process. The body is a UTF-8 message for every status >= ERR.
 //
 // Batch responses answer every op: records are in request order, one per
 // op, each carrying a per-op status — 0 (OK), 1 (not found: MGET/MDEL of
@@ -228,13 +253,84 @@
 // malformed batch (ragged payload, zero ops, > MaxBatchOps) is rejected
 // whole with ERR.
 //
-// Requests on one connection are answered in order; concurrency comes
-// from concurrent connections, which matches the closed-loop client model
-// (one in-flight request per client). Pipelining works — the server reads
-// the next request as soon as the previous response is on the wire and
-// only flushes when the connection goes idle — but ordering is still
-// per-connection.
+// Requests on a v1 connection are answered in order; concurrency comes
+// from concurrent connections, which matches the original closed-loop
+// client model (one in-flight request per connection).
 //
 // Frames are capped at 1 MB (MaxFrame); a larger length prefix is treated
 // as a corrupt stream and the connection is dropped.
+//
+// # Pipelining (protocol v2)
+//
+// One in-flight request per connection caps a connection's throughput
+// at the network round trip, and — worse for this design — it keeps
+// the shard workers' queues shallow, so the group commit has nothing
+// to group: the per-fence amortization the workers were built for
+// needs a standing supply of queued operations. Protocol v2 exists to
+// keep that supply full from a single connection.
+//
+// After the HELLO handshake (the reply to a HELLO is a v1-framed OK
+// whose body is version(uint64 BE) window(uint64 BE) — the negotiated
+// protocol and the granted in-flight window, min(requested, MaxWindow),
+// DefaultWindow when 0 is requested), every request carries a
+// client-chosen 8-byte sequence number and every response echoes one.
+// Replies arrive in completion order, not request order; the sequence
+// number is the only correlation. The server splits each v2 connection
+// into independent stages:
+//
+//   - a reader goroutine decodes frames and dispatches them: PUT and
+//     DEL are submitted asynchronously into their shard worker's queue
+//     (a completion callback replaces the per-request blocking wait, so
+//     one connection can have operations queued on every shard at
+//     once — this is what multiplies group-commit depth); GET runs the
+//     concurrent verified-read fast path inline, falling back to the
+//     worker queue; the multi-shard verbs (batches, SCAN, STATS, SYNC,
+//     SCRUB, INJECT, CRASH) each run on their own bounded goroutine;
+//   - a writer goroutine streams completed replies to the wire in
+//     completion order, flushing when the queue goes empty, so replies
+//     coalesce into few syscalls under load.
+//
+// The granted window bounds everything: the reader stops reading while
+// window ops are in flight, so overload behavior is plain TCP
+// backpressure (the client's sends eventually block), and the window
+// also sizes the server's per-connection completion buffering — a
+// completion can never block a shard worker on a slow or dead
+// connection. Every dispatched operation resolves: on connection loss
+// the writer drains and discards, and on shard-set shutdown the
+// operation fails with SHUTDOWN (ErrShuttingDown client-side) — never
+// a silent drop.
+//
+// Execution order follows completion, not submission: two operations in
+// flight on one connection may execute in either order (a GET pipelined
+// behind a PUT of the same key may run first and miss it — reads go
+// inline on the reader while writes queue on the shard workers). An
+// operation's effect is visible to everything submitted after its reply
+// resolves; pipeline only independent operations, and sequence a
+// dependent one by waiting on its predecessor's reply (or future)
+// first. v1 connections keep strict request-order execution.
+//
+// # Client
+//
+// Dial(ctx, addr, opts...) returns a pipelined Client speaking v2 (or
+// v1 under WithProtocolV1 — same machinery, FIFO reply matching, since
+// v1 replies are in order). A Client is safe for concurrent use by any
+// number of goroutines and is designed to be shared: concurrent calls
+// interleave on the one connection's window, which is exactly what
+// keeps server-side group commits deep. The synchronous methods (Get,
+// Put, Del, MGet, MPut, MDel, Scan, Scrub, ...) keep their original
+// signatures — each claims a window slot, ships its frame, and blocks
+// for its own reply. GetAsync/PutAsync/DelAsync submit without
+// blocking and return typed futures; Pipeline(ctx) batches submissions
+// and collects every outcome with one Wait. WithPipelineDepth requests
+// the window, WithDialTimeout and WithRequestTimeout bound connect and
+// per-op waits, and a context cancellation abandons only the wait — the
+// operation stays in flight and resolves when its reply arrives.
+//
+// Failure semantics are explicit: per-op failures (including the typed
+// CORRUPT/POISON/SHUTDOWN statuses) resolve that op alone and leave the
+// connection healthy; a wire or protocol failure (broken socket, bad
+// frame, unknown sequence number) is fatal — every in-flight and
+// subsequent operation resolves with the error, and Err reports it.
+// Close resolves everything in flight with ErrClientClosed. No
+// operation, under any teardown order, is dropped without an answer.
 package server

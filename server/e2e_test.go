@@ -42,7 +42,7 @@ func TestEndToEndCrashUnderBatchLoad(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			c, err := Dial(addr)
+			c, err := Dial(t.Context(), addr)
 			if err != nil {
 				t.Errorf("client %d: %v", id, err)
 				return
@@ -83,7 +83,7 @@ func TestEndToEndCrashUnderBatchLoad(t *testing.T) {
 		frozen[k.(uint64)] = v.(uint64)
 		return true
 	})
-	cc, err := Dial(addr)
+	cc, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestEndToEndConcurrentClientsThenCrash(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			c, err := Dial(addr)
+			c, err := Dial(t.Context(), addr)
 			if err != nil {
 				errs <- err
 				return
@@ -233,7 +233,7 @@ func TestEndToEndConcurrentClientsThenCrash(t *testing.T) {
 
 	// The server must report a healthy spread: every shard saw traffic
 	// and no shard errored.
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestEndToEndConcurrentClientsThenCrash(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			c, err := Dial(addr2)
+			c, err := Dial(t.Context(), addr2)
 			if err != nil {
 				errs2 <- err
 				return

@@ -33,7 +33,7 @@ func startMaintServer(t *testing.T, opts shard.Options) (string, *shard.Set) {
 // health fields.
 func TestScrubOpEndToEnd(t *testing.T) {
 	addr, _ := startMaintServer(t, shard.Options{})
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestScrubOpEndToEnd(t *testing.T) {
 // the bg_repairs counter the loadtest corruption phase gates on.
 func TestScrubBackgroundHealsOverTCP(t *testing.T) {
 	addr, _ := startMaintServer(t, shard.Options{ScrubInterval: time.Millisecond})
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,12 +149,12 @@ func TestScrubBackgroundHealsOverTCP(t *testing.T) {
 // treated as health-or-pass.
 func TestScrubUnknownMode(t *testing.T) {
 	addr, _ := startMaintServer(t, shard.Options{})
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.roundTrip(Request{Op: OpScrub, Key: 7}); err == nil {
+	if _, _, err := c.call(t.Context(), Request{Op: OpScrub, Key: 7}); err == nil {
 		t.Fatal("scrub mode 7 accepted")
 	}
 }

@@ -9,26 +9,54 @@ import (
 // Wire protocol: every message is a length-prefixed frame.
 //
 //	frame   := length(uint32 BE) payload
-//	request := op(1 B) fields…          fields are uint64 BE
-//	response:= status(1 B) body…
 //
-// See doc.go for the full grammar. The frame length covers the payload
-// only, not the 4-byte prefix.
+// Two payload layouts exist, negotiated per connection by the first frame
+// (see doc.go for the full grammar; the frame length covers the payload
+// only, not the 4-byte prefix):
+//
+//	v1 request  := op(1 B) fields…                 fields are uint64 BE
+//	v1 response := status(1 B) body…               in request order
+//
+//	v2 request  := seq(uint64 BE) op(1 B) fields…  client-chosen sequence
+//	v2 response := seq(uint64 BE) status(1 B) body…  may arrive out of order
+//
+// A connection whose first frame is a HELLO (OpHello with the magic)
+// speaks v2 from the next frame on; any other first frame selects v1 —
+// the original one-op-per-frame, in-order protocol, kept as the
+// degenerate case.
 
 // Request opcodes.
 const (
-	OpGet   uint8 = 1  // key → value
-	OpPut   uint8 = 2  // key, value
-	OpDel   uint8 = 3  // key
-	OpStats uint8 = 4  // → JSON body
-	OpSync  uint8 = 5  // save every shard snapshot
-	OpCrash uint8 = 6  // seed → write crash images, then the server dies
+	OpGet    uint8 = 1  // key → value
+	OpPut    uint8 = 2  // key, value
+	OpDel    uint8 = 3  // key
+	OpStats  uint8 = 4  // → JSON body
+	OpSync   uint8 = 5  // save every shard snapshot
+	OpCrash  uint8 = 6  // seed → write crash images, then the server dies
 	OpMGet   uint8 = 7  // N keys → N (found, value) records
 	OpMPut   uint8 = 8  // N (key, value) pairs → N status bytes
 	OpMDel   uint8 = 9  // N keys → N status bytes
 	OpScan   uint8 = 10 // lo, hi, limit, cursor → more, next-cursor, (key value)*
 	OpScrub  uint8 = 11 // mode (0 health only, 1 run a full pass) → JSON body
 	OpInject uint8 = 12 // seed, count → injected count (fault-injection test hook)
+	OpHello  uint8 = 13 // magic, version, window → negotiate protocol v2
+)
+
+// HelloMagic guards HELLO frames against a v1 client whose first request
+// happens to carry opcode 13: without the magic the frame is (rejected
+// as) a v1 request, never a protocol switch.
+const HelloMagic uint64 = 0x50474c2d50495045 // "PGL-PIPE"
+
+// ProtocolV2 is the pipelined protocol version HELLO negotiates.
+const ProtocolV2 uint64 = 2
+
+// Window bounds for the per-connection in-flight window HELLO negotiates:
+// the server grants min(requested, MaxWindow) (at least 1) and sizes the
+// connection's completion buffering by the grant, so the grant is also
+// the server's per-connection memory bound under overload.
+const (
+	DefaultWindow = 256  // granted when the client requests 0
+	MaxWindow     = 1024 // server-side cap on any request
 )
 
 // Per-op status bytes inside an MGET/MPUT/MDEL response body (the frame
@@ -49,11 +77,17 @@ const MaxBatchOps = 4096
 // with the response's next-cursor.
 const MaxScanPairs = 4096
 
-// Response status codes.
+// Response status codes. v1 connections only ever see the first three
+// (errors collapse to StatusErr, which old clients understand); v2
+// responses classify failures so the client can rebuild typed errors —
+// the body is a UTF-8 message for every status ≥ StatusErr.
 const (
 	StatusOK       uint8 = 0
 	StatusNotFound uint8 = 1
 	StatusErr      uint8 = 2 // body is a UTF-8 message
+	StatusCorrupt  uint8 = 3 // v2: pangolin.IsCorruption on the server side
+	StatusPoison   uint8 = 4 // v2: pangolin.IsPoison on the server side
+	StatusShutdown uint8 = 5 // v2: the shard set is shutting down
 )
 
 // MaxFrame bounds a frame payload; stats JSON for even thousands of shards
@@ -102,8 +136,10 @@ func appendU64(b []byte, v uint64) []byte {
 // OpCrash, OpScrub) carry their field — key, seed, or scrub mode — in
 // Key. OpInject carries its seed in Key and its fault count in Val.
 // OpScan carries its bounds in Key (lo) and Val (hi) plus Limit and
-// Cursor. Batch ops carry Keys (MGET, MDEL) or Keys+Vals pairwise
-// (MPUT); decoded slices alias nothing and are safe to retain.
+// Cursor. OpHello carries its magic in Key, version in Val, and
+// requested window in Limit. Batch ops carry Keys (MGET, MDEL) or
+// Keys+Vals pairwise (MPUT); decoded slices alias nothing and are safe
+// to retain.
 type Request struct {
 	Op     uint8
 	Key    uint64
@@ -133,6 +169,8 @@ func fieldCount(op uint8) (int, error) {
 		return 1, nil
 	case OpInject:
 		return 2, nil
+	case OpHello:
+		return 3, nil // magic, version, window
 	case OpScan:
 		return 4, nil
 	case OpMGet, OpMPut, OpMDel:
@@ -250,4 +288,69 @@ func DecodeResponse(p []byte) (uint8, []byte, error) {
 		return 0, nil, fmt.Errorf("server: empty response")
 	}
 	return p[0], p[1:], nil
+}
+
+// EncodeRequestSeq appends req's v2 wire form — seq, then the v1 request
+// layout — to b.
+func EncodeRequestSeq(b []byte, seq uint64, req Request) ([]byte, error) {
+	b = appendU64(b, seq)
+	out, err := EncodeRequest(b, req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeRequestSeq parses a v2 request payload: the sequence number, then
+// the request. A payload too short to carry a sequence number cannot be
+// answered at all (there is no seq to echo), so the caller must treat
+// that error as a corrupt stream and drop the connection.
+func DecodeRequestSeq(p []byte) (uint64, Request, error) {
+	if len(p) < 8 {
+		return 0, Request{}, fmt.Errorf("server: v2 request of %d bytes has no sequence number", len(p))
+	}
+	seq := binary.BigEndian.Uint64(p)
+	req, err := DecodeRequest(p[8:])
+	return seq, req, err
+}
+
+// EncodeResponseSeq appends a v2 response payload to b: the echoed
+// sequence number, then status and body.
+func EncodeResponseSeq(b []byte, seq uint64, status uint8, body []byte) []byte {
+	b = appendU64(b, seq)
+	return EncodeResponse(b, status, body)
+}
+
+// DecodeResponseSeq splits a v2 response payload into its echoed
+// sequence number, status, and body.
+func DecodeResponseSeq(p []byte) (uint64, uint8, []byte, error) {
+	if len(p) < 9 {
+		return 0, 0, nil, fmt.Errorf("server: v2 response of %d bytes", len(p))
+	}
+	return binary.BigEndian.Uint64(p), p[8], p[9:], nil
+}
+
+// DecodeHello reports whether a first frame is a v2 HELLO: a well-formed
+// OpHello request carrying the magic. Anything else — including opcode
+// 13 without the magic — leaves the connection on protocol v1.
+func DecodeHello(p []byte) (version, window uint64, ok bool) {
+	req, err := DecodeRequest(p)
+	if err != nil || req.Op != OpHello || req.Key != HelloMagic {
+		return 0, 0, false
+	}
+	return req.Val, req.Limit, true
+}
+
+// GrantWindow clamps a HELLO's requested in-flight window to the
+// server's bounds: 0 asks for the default, and nothing exceeds
+// MaxWindow.
+func GrantWindow(requested uint64) int {
+	switch {
+	case requested == 0:
+		return DefaultWindow
+	case requested > MaxWindow:
+		return MaxWindow
+	default:
+		return int(requested)
+	}
 }

@@ -10,7 +10,7 @@ import (
 // bounds, cursor pagination, limit clamping, and the stats counters.
 func TestServerScan(t *testing.T) {
 	_, addr := startServer(t, t.TempDir(), 4)
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestServerScan(t *testing.T) {
 // of the acceptance criterion, in-process.
 func TestServerScanUnderWrites(t *testing.T) {
 	_, addr := startServer(t, t.TempDir(), 4)
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestServerScanUnderWrites(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wc, err := Dial(addr)
+			wc, err := Dial(t.Context(), addr)
 			if err != nil {
 				t.Error(err)
 				return

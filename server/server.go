@@ -150,21 +150,36 @@ func (s *Server) Shutdown() {
 // completing the simulated machine death.
 func (s *Server) Crashed() <-chan struct{} { return s.crashed }
 
-// serveConn runs one connection's request loop. Requests on a connection
-// are processed in order; concurrency comes from concurrent connections.
+// serveConn handles one connection. The first frame selects the
+// protocol: a HELLO switches the connection to the pipelined v2 loop
+// (sequence-numbered frames, out-of-order completion); anything else is
+// served as v1 — the original one-op-per-frame, in-order protocol, kept
+// as the degenerate case so old clients keep working unchanged.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	var in, out []byte
+	first, err := ReadFrame(br, nil)
+	if err != nil {
+		return // EOF or broken conn; nothing to answer
+	}
+	if version, window, ok := DecodeHello(first); ok {
+		s.servePipelined(br, bw, version, window)
+		return
+	}
+	s.serveV1(br, bw, first)
+}
+
+// serveV1 runs the in-order request loop: decode, execute, reply, one
+// request at a time. first is the already-read opening frame. Requests
+// on a v1 connection are answered in order; concurrency comes from
+// concurrent connections.
+func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, first []byte) {
+	in := first
+	var out []byte
 	for {
-		payload, err := ReadFrame(br, in)
-		if err != nil {
-			return // EOF or broken conn; nothing to answer
-		}
-		in = payload
 		var crashed bool
-		out, crashed = s.handle(out[:0], payload)
+		out, crashed = s.handle(out[:0], in)
 		if err := WriteFrame(bw, out); err != nil {
 			return
 		}
@@ -182,22 +197,222 @@ func (s *Server) serveConn(conn net.Conn) {
 			// process owner starts killing connections.
 			s.crashOnce.Do(func() { close(s.crashed) })
 		}
+		payload, err := ReadFrame(br, in)
+		if err != nil {
+			return
+		}
+		in = payload
 	}
 }
 
-// handle executes one request payload and appends the response payload to
-// out. The second result reports that this request was a successful
-// OpCrash, which the connection loop announces after flushing.
+// completion is one finished v2 request on its way to the wire.
+type completion struct {
+	payload []byte // seq + status + body
+	crash   bool   // a successful OpCrash: flush, then announce
+}
+
+// pipeConn is the per-connection state of a pipelined v2 session: the
+// in-flight window semaphore the reader acquires per request (and the
+// writer releases once the reply is on the wire) and the completion
+// channel between op completion and the writer goroutine. The channel's
+// capacity equals the window, and every in-flight op holds exactly one
+// window slot, so completing an op NEVER blocks — a shard worker
+// goroutine invoking a completion callback cannot be stalled by a slow
+// connection.
+type pipeConn struct {
+	s           *Server
+	sem         chan struct{}
+	completions chan completion
+	inflight    sync.WaitGroup
+}
+
+// complete finishes one request with a status and body.
+func (pc *pipeConn) complete(seq uint64, status uint8, body []byte) {
+	pc.completeRaw(seq, EncodeResponse(nil, status, body), false)
+}
+
+// completeErr finishes one request with a typed failure status.
+func (pc *pipeConn) completeErr(seq uint64, err error) {
+	pc.complete(seq, errStatus(err), []byte(err.Error()))
+}
+
+// completeRaw finishes one request whose status+body payload is already
+// encoded, prepending the echoed sequence number.
+func (pc *pipeConn) completeRaw(seq uint64, resp []byte, crash bool) {
+	payload := appendU64(make([]byte, 0, 8+len(resp)), seq)
+	payload = append(payload, resp...)
+	pc.completions <- completion{payload: payload, crash: crash}
+	pc.inflight.Done()
+}
+
+// writeLoop is the per-connection writer goroutine: it streams
+// completions to the wire in the order they land — which is completion
+// order, not request order — flushing whenever the queue goes empty,
+// and releases each completion's window slot once its reply is written.
+// A write error marks the connection dead but the loop keeps draining
+// (and discarding), so in-flight completion callbacks can never block
+// on a broken connection.
+func (pc *pipeConn) writeLoop(bw *bufio.Writer, done chan struct{}) {
+	defer close(done)
+	dead := false
+	for c := range pc.completions {
+		if !dead {
+			if err := WriteFrame(bw, c.payload); err != nil {
+				dead = true
+			} else if len(pc.completions) == 0 || c.crash {
+				if err := bw.Flush(); err != nil {
+					dead = true
+				}
+			}
+		}
+		if c.crash && !dead {
+			// As on the v1 path: announce only after the OK response
+			// is on the wire, so the requesting client sees its answer
+			// before the process owner starts killing connections.
+			pc.s.crashOnce.Do(func() { close(pc.s.crashed) })
+		}
+		<-pc.sem
+	}
+}
+
+// servePipelined runs one v2 session after its HELLO: a reader loop
+// (this goroutine) that decodes frames and dispatches them for
+// asynchronous completion, and a writer goroutine that streams replies
+// as they complete. The in-flight window is the negotiated one: when a
+// connection has window ops outstanding the reader simply stops reading
+// — TCP backpressure is the overload behavior, and the window bounds
+// the per-connection completion memory. On connection loss or server
+// shutdown every dispatched op still resolves (the writer drains what
+// it cannot send), so no completion callback is ever left dangling.
+func (s *Server) servePipelined(br *bufio.Reader, bw *bufio.Writer, version, reqWindow uint64) {
+	if version != ProtocolV2 {
+		resp := EncodeResponse(nil, StatusErr, []byte(fmt.Sprintf("server: unsupported protocol version %d", version)))
+		if WriteFrame(bw, resp) == nil {
+			bw.Flush()
+		}
+		return
+	}
+	win := GrantWindow(reqWindow)
+	ack := appendU64(appendU64(nil, ProtocolV2), uint64(win))
+	if WriteFrame(bw, EncodeResponse(nil, StatusOK, ack)) != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+	pc := &pipeConn{
+		s:           s,
+		sem:         make(chan struct{}, win),
+		completions: make(chan completion, win),
+	}
+	writerDone := make(chan struct{})
+	go pc.writeLoop(bw, writerDone)
+	var in []byte
+	for {
+		payload, err := ReadFrame(br, in)
+		if err != nil {
+			break
+		}
+		in = payload
+		seq, req, err := DecodeRequestSeq(payload)
+		if err != nil && len(payload) < 8 {
+			break // no sequence number to echo: corrupt stream, drop
+		}
+		pc.sem <- struct{}{} // in-flight window: blocks when full
+		pc.inflight.Add(1)
+		if err != nil {
+			pc.complete(seq, StatusErr, []byte(err.Error()))
+			continue
+		}
+		s.dispatch(pc, seq, req)
+	}
+	// No more requests (EOF, broken conn, or corrupt stream). Every
+	// dispatched op still completes; wait for them, then let the writer
+	// drain its queue and exit.
+	pc.inflight.Wait()
+	close(pc.completions)
+	<-writerDone
+}
+
+// dispatch routes one v2 request for asynchronous completion. Single-key
+// data ops feed the shard layer directly: writes go straight into the
+// shard worker queue (whose group-commit drain folds queued ops into
+// one transaction — the reason deep pipelines produce big groups), and
+// GETs run the concurrent verified-read fast path inline on this
+// handler goroutine, falling back to the queue. The remaining verbs
+// block on multi-shard fan-outs, so each runs on its own goroutine,
+// bounded by the in-flight window.
+func (s *Server) dispatch(pc *pipeConn, seq uint64, req Request) {
+	switch req.Op {
+	case OpGet:
+		s.set.SubmitGet(req.Key, func(r shard.BatchResult) {
+			switch {
+			case r.Err != nil:
+				pc.completeErr(seq, r.Err)
+			case !r.OK:
+				pc.complete(seq, StatusNotFound, nil)
+			default:
+				var body [8]byte
+				binary.BigEndian.PutUint64(body[:], r.V)
+				pc.complete(seq, StatusOK, body[:])
+			}
+		})
+	case OpPut:
+		s.set.SubmitPut(req.Key, req.Val, func(r shard.BatchResult) {
+			if r.Err != nil {
+				pc.completeErr(seq, r.Err)
+				return
+			}
+			pc.complete(seq, StatusOK, nil)
+		})
+	case OpDel:
+		s.set.SubmitDel(req.Key, func(r shard.BatchResult) {
+			switch {
+			case r.Err != nil:
+				pc.completeErr(seq, r.Err)
+			case !r.OK:
+				pc.complete(seq, StatusNotFound, nil)
+			default:
+				pc.complete(seq, StatusOK, nil)
+			}
+		})
+	default:
+		go func() {
+			out, crashed := s.handleReq(nil, req, true)
+			pc.completeRaw(seq, out, crashed)
+		}()
+	}
+}
+
+// handle executes one v1 request payload and appends the response
+// payload to out. The second result reports that this request was a
+// successful OpCrash, which the connection loop announces after
+// flushing.
 func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 	req, err := DecodeRequest(payload)
 	if err != nil {
 		return EncodeResponse(out, StatusErr, []byte(err.Error())), false
 	}
+	return s.handleReq(out, req, false)
+}
+
+// handleReq executes one decoded request. typed selects the v2 failure
+// statuses (shutdown/corruption/poison classified for the client's
+// typed-error mapping); v1 connections collapse every failure to
+// StatusErr, which old clients understand.
+func (s *Server) handleReq(out []byte, req Request, typed bool) ([]byte, bool) {
+	fail := func(err error) []byte {
+		status := StatusErr
+		if typed {
+			status = errStatus(err)
+		}
+		return EncodeResponse(out, status, []byte(err.Error()))
+	}
 	switch req.Op {
 	case OpGet:
 		v, ok, err := s.set.Get(req.Key)
 		if err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		if !ok {
 			return EncodeResponse(out, StatusNotFound, nil), false
@@ -207,13 +422,13 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 		return EncodeResponse(out, StatusOK, body[:]), false
 	case OpPut:
 		if err := s.set.Put(req.Key, req.Val); err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		return EncodeResponse(out, StatusOK, nil), false
 	case OpDel:
 		ok, err := s.set.Del(req.Key)
 		if err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		if !ok {
 			return EncodeResponse(out, StatusNotFound, nil), false
@@ -222,13 +437,13 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 	case OpMGet, OpMPut, OpMDel:
 		return s.handleBatch(out, req), false
 	case OpScan:
-		return s.handleScan(out, req), false
+		return s.handleScan(out, req, fail), false
 	case OpScrub:
-		return s.handleScrub(out, req), false
+		return s.handleScrub(out, req, fail), false
 	case OpInject:
 		n, err := s.set.InjectFaults(int64(req.Key), int(req.Val))
 		if err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		var body [8]byte
 		binary.BigEndian.PutUint64(body[:], uint64(n))
@@ -236,19 +451,23 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 	case OpStats:
 		body, err := json.Marshal(s.set.Stats())
 		if err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		return EncodeResponse(out, StatusOK, body), false
 	case OpSync:
 		if err := s.set.Sync(); err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		return EncodeResponse(out, StatusOK, nil), false
 	case OpCrash:
 		if err := s.set.CrashSave(int64(req.Key)); err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error())), false
+			return fail(err), false
 		}
 		return EncodeResponse(out, StatusOK, nil), true
+	case OpHello:
+		// A HELLO after the first frame (or on a v1 connection) is a
+		// protocol violation, not a switch point.
+		return EncodeResponse(out, StatusErr, []byte("server: HELLO only negotiates as a connection's first frame")), false
 	default:
 		return EncodeResponse(out, StatusErr, []byte(fmt.Sprintf("unknown op %d", req.Op))), false
 	}
@@ -259,7 +478,7 @@ func (s *Server) handle(out, payload []byte) ([]byte, bool) {
 // response body is more(1 B), next-cursor(uint64 BE), then the pairs as
 // (key value) uint64 BE records; see doc.go for cursor and consistency
 // semantics.
-func (s *Server) handleScan(out []byte, req Request) []byte {
+func (s *Server) handleScan(out []byte, req Request, fail func(error) []byte) []byte {
 	lo, hi := req.Key, req.Val
 	if req.Cursor > lo {
 		lo = req.Cursor
@@ -270,7 +489,7 @@ func (s *Server) handleScan(out []byte, req Request) []byte {
 	}
 	pairs, next, more, err := s.set.Scan(lo, hi, limit)
 	if err != nil {
-		return EncodeResponse(out, StatusErr, []byte(err.Error()))
+		return fail(err)
 	}
 	out = append(out, StatusOK)
 	if more {
@@ -292,14 +511,14 @@ func (s *Server) handleScan(out []byte, req Request) []byte {
 // steps interleaved with each shard's client traffic, so even an
 // operator-triggered pass never stalls the pool — and waits for it. The
 // response body is the ScrubStatus JSON.
-func (s *Server) handleScrub(out []byte, req Request) []byte {
+func (s *Server) handleScrub(out []byte, req Request, fail func(error) []byte) []byte {
 	var st ScrubStatus
 	switch req.Key {
 	case 0:
 	case 1:
 		rep, err := s.set.Scrub()
 		if err != nil {
-			return EncodeResponse(out, StatusErr, []byte(err.Error()))
+			return fail(err)
 		}
 		st.Ran = true
 		st.Report = rep

@@ -124,7 +124,7 @@ func startServer(t *testing.T, dir string, shards int) (*Server, string) {
 
 func TestServerBasicOps(t *testing.T) {
 	_, addr := startServer(t, t.TempDir(), 2)
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestServerBasicOps(t *testing.T) {
 
 func TestServerBatchOps(t *testing.T) {
 	_, addr := startServer(t, t.TempDir(), 2)
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestServerRejectsMalformedFrame(t *testing.T) {
 
 func TestClientAfterClose(t *testing.T) {
 	_, addr := startServer(t, t.TempDir(), 2)
-	c, err := Dial(addr)
+	c, err := Dial(t.Context(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
