@@ -65,10 +65,13 @@ type latencyMS struct {
 }
 
 type report struct {
-	Addr       string  `json:"addr"`
-	Clients    int     `json:"clients"`
-	Batch      int     `json:"batch"`
-	Pipeline   int     `json:"pipeline"`
+	Addr     string `json:"addr"`
+	Clients  int    `json:"clients"`
+	Batch    int    `json:"batch"`
+	Pipeline int    `json:"pipeline"`
+	// Backend echoes the server's STATS backends field when -backend
+	// asked for a specific engine, so A/B reports are self-labeling.
+	Backend    string  `json:"backend,omitempty"`
 	Ops        uint64  `json:"ops"`
 	Errors     uint64  `json:"errors"`
 	ElapsedSec float64 `json:"elapsed_sec"`
@@ -106,6 +109,8 @@ func main() {
 	scans := flag.Float64("scans", 0, "fraction of SCANs (each one SCAN frame; requires -batch 1)")
 	scanLimit := flag.Int("scan-limit", 64, "pairs requested per SCAN frame")
 	seed := flag.Int64("seed", 1, "workload seed")
+	backend := flag.String("backend", "",
+		"expected server backends (the STATS backends field, e.g. \"logstore\" or \"pangolin,logstore\"); nonempty makes the run label its report with the backend and exit nonzero on a mismatch — the A/B phase's guard against measuring the wrong engine")
 	batch := flag.Int("batch", 1, "operations per client frame (1 = single-op GET/PUT/DEL, >1 = MGET/MPUT/MDEL)")
 	pipeline := flag.Int("pipeline", 1, "closed-loop workers per connection (each keeps one request in flight, so N workers pipeline N requests on one connection)")
 	crashAfter := flag.Bool("crash-after", false, "send CRASH when done (server dies with crash images)")
@@ -369,6 +374,7 @@ func main() {
 		}
 		if st, err := c.Stats(); err == nil {
 			rep.Server = &st
+			rep.Backend = st.Backends
 			if st.Batches > 0 {
 				rep.GroupBatchMean = float64(st.BatchedOps) / float64(st.Batches)
 			}
@@ -390,6 +396,10 @@ func main() {
 	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "pglload: %d errors\n", rep.Errors)
+		os.Exit(1)
+	}
+	if *backend != "" && rep.Backend != *backend {
+		fmt.Fprintf(os.Stderr, "pglload: server backends %q, want %q\n", rep.Backend, *backend)
 		os.Exit(1)
 	}
 	if *faults > 0 && !rep.Healed {

@@ -50,6 +50,10 @@ func main() {
 	dir := flag.String("dir", "", "shard snapshot directory (required)")
 	shards := flag.Int("shards", 4, "shard count when creating a new set")
 	structure := flag.String("structure", "hashmap", fmt.Sprintf("kv structure when creating: %v", registry.Names()))
+	backend := flag.String("backend", "",
+		"per-shard storage backend when creating: pangolin (default), logstore, or a comma list cycled across shards (\"pangolin,logstore\" alternates); opening an existing set rediscovers each shard's backend from disk")
+	logSegBytes := flag.Int64("log-segment-bytes", 0,
+		"logstore shards' segment rotation threshold in bytes when creating; 0 selects the engine default (small values force compaction traffic, for tests and A/B runs)")
 	mode := flag.String("mode", "pangolin-mlpc",
 		fmt.Sprintf("pool operation mode: %v (the unprotected pmemobj baseline is rejected)", shard.ModeNames()))
 	zones := flag.Uint64("zones", 8, "zones per shard pool when creating (capacity)")
@@ -70,17 +74,22 @@ func main() {
 	// names with a naming error) instead of silently serving another
 	// mode.
 	opts := shard.Options{
-		Structure:     *structure,
-		Mode:          *mode,
-		Pangolin:      pangolin.Config{Geometry: geo},
-		SerialReads:   *serialReads,
-		ScrubInterval: *scrubInterval,
+		Structure:       *structure,
+		Backend:         *backend,
+		Mode:            *mode,
+		Pangolin:        pangolin.Config{Geometry: geo},
+		LogSegmentBytes: *logSegBytes,
+		SerialReads:     *serialReads,
+		ScrubInterval:   *scrubInterval,
 	}
 
+	// An existing set is detected by its shard-0000 entry in either
+	// on-disk form — the pangolin pool file or the logstore directory —
+	// so a logstore-only set reopens instead of failing creation.
 	var set *shard.Set
 	var err error
 	recovered := false
-	if _, statErr := os.Stat(pangolin.ShardFile(*dir, 0)); statErr == nil {
+	if existing, _ := shard.DiscoverBackends(*dir); len(existing) > 0 {
 		set, err = shard.Open(*dir, opts)
 		recovered = true
 	} else {
@@ -98,6 +107,7 @@ func main() {
 		"addr":           srv.Addr().String(),
 		"shards":         set.Len(),
 		"structure":      set.Structure(),
+		"backends":       set.Stats().Backends,
 		"recovered":      recovered,
 		"serial_reads":   *serialReads,
 		"scrub_interval": scrubInterval.String(),

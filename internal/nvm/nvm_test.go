@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -543,5 +545,36 @@ func TestNoIntraLineTearing(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSaveFileTempHygiene: the temp-write-then-rename must never leave
+// its .tmp file behind — neither after a successful save (renamed away)
+// nor after a failed one (removed on the error path).
+func TestSaveFileTempHygiene(t *testing.T) {
+	d := newTestDev(t, 4*PageSize)
+	d.WriteAt(0, []byte("hygiene"))
+	d.Persist(0, 7)
+	dir := t.TempDir()
+
+	path := filepath.Join(dir, "pool.img")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after successful save: stat err = %v", err)
+	}
+
+	// Error path: the final rename fails because the target is a
+	// directory; the temp file must still be cleaned up.
+	blocked := filepath.Join(dir, "blocked.img")
+	if err := os.Mkdir(blocked, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveFile(blocked); err == nil {
+		t.Fatal("SaveFile onto a directory should fail")
+	}
+	if _, err := os.Stat(blocked + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after failed save: stat err = %v", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -83,7 +84,10 @@ func ReadSnapshot(r io.Reader) (*Device, error) {
 }
 
 // SaveFile writes a snapshot to path, replacing any existing file
-// atomically (write to temp, rename).
+// atomically and durably: write to temp, fsync the file, rename, fsync
+// the parent directory. Without the syncs a host crash shortly after
+// SaveFile could leave the path pointing at a torn or missing snapshot
+// — the rename orders the directory entry, not the data.
 func (d *Device) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -95,11 +99,28 @@ func (d *Device) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile reads a snapshot from path.

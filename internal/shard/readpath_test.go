@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/pangolin-go/pangolin/internal/store/pangolinstore"
 )
 
 // Tests for the concurrent verified-read fast path: engagement (reads
@@ -121,7 +123,8 @@ func TestFastPathFaultFallsBackToRepair(t *testing.T) {
 		}
 	}
 	w := s.workers[0]
-	w.pool.InjectMediaError(w.m.Anchor().Off)
+	ps := w.st.(*pangolinstore.Store)
+	ps.Pool().InjectMediaError(ps.Map().Anchor().Off)
 	if v, ok, err := s.Get(3); err != nil || !ok || v != encode(0, 3) {
 		t.Fatalf("get across media error = (%#x,%v,%v)", v, ok, err)
 	}

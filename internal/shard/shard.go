@@ -1,39 +1,50 @@
 // Package shard hash-partitions a uint64 key space across N independent
-// Pangolin pools so that transactions on different shards commit in
-// parallel. Pangolin transactions are per-goroutine and two concurrent
-// transactions must not modify the same object (§3.4), so the package
-// gives each shard exactly one owner goroutine (a worker) that performs
-// every mutating pool access — transactions, snapshot saves, scrubs —
-// and routes requests to workers over channels. Write concurrency scales
-// with the shard count while each pool keeps the single-writer
-// discipline the paper requires.
+// per-shard stores so that mutations on different shards commit in
+// parallel. Every store backend (internal/store) shares the paper's
+// ownership discipline — pangolin transactions are per-goroutine and two
+// concurrent transactions must not modify the same object (§3.4) — so
+// the package gives each shard exactly one owner goroutine (a worker)
+// that performs every mutating store access — batches, snapshot saves,
+// scrubs — and routes requests to workers over channels. Write
+// concurrency scales with the shard count while each store keeps the
+// single-writer discipline.
 //
-// Reads do not funnel through the workers: Pangolin's design point is
-// that readers verify per-object checksums straight from NVMM and run
-// concurrently with each other (§3.3), so Get executes a verified Lookup
-// on the caller's goroutine against the pool's ReadView, gated by a
-// per-shard reader/writer gate. Readers share the gate; the worker takes
-// its write side around every pool access, so a group commit (the
+// Reads do not funnel through the workers when the backend offers a
+// read view (store.ReadViewer): Pangolin's design point is that readers
+// verify per-object checksums straight from NVMM and run concurrently
+// with each other (§3.3), so Get executes a verified read on the
+// caller's goroutine against the store's view, gated by a per-shard
+// reader/writer gate. Readers share the gate; the worker takes its
+// write side around every store access, so a group commit (the
 // linearization point for the shard) excludes readers only for the
-// commit itself. Readers never block on the gate: if it is unavailable —
-// commit, save, crash-image, scrub, or recovery in progress — or a read
-// hits a fault that needs online repair, the read falls back to the
-// worker queue, whose repairing path serializes with everything else.
+// commit itself. Readers never block on the gate: if it is unavailable
+// — commit, save, crash-image, scrub, or recovery in progress — or a
+// read hits a fault that needs online repair, the read falls back to
+// the worker queue, whose repairing path serializes with everything
+// else.
 //
-// Persistence uses pangolin.PoolSet: one snapshot file per shard in a
-// directory. Each shard pool's root records which kv structure the shard
-// holds, the shard's index and the set size, and the structure's anchor
-// OID, so Open can reattach and can reject a directory whose shards
-// disagree (e.g. a file restored from the wrong set).
+// Backends are selected per shard (Options.Backend): the pangolin
+// backend persists as one snapshot file per shard (shard-%04d.pgl, via
+// pangolin.PoolSet) and the log backend as one segment directory per
+// shard (shard-%04d.log), side by side in the set directory — Open
+// rediscovers each shard's backend from which form is present. Each
+// shard records its structure, index, and set size (the pangolin root /
+// the log manifest) so Open can reattach and can reject a directory
+// whose shards disagree (e.g. a file restored from the wrong set).
 package shard
 
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/pangolin-go/pangolin"
-	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/internal/store"
+	"github.com/pangolin-go/pangolin/internal/store/logstore"
+	"github.com/pangolin-go/pangolin/internal/store/pangolinstore"
 	"github.com/pangolin-go/pangolin/structures/kv/registry"
 )
 
@@ -52,45 +63,43 @@ var ErrShuttingDown = errors.New("shard set shutting down")
 // served a different mode than the operator asked for).
 var ErrUnprotectedMode = errors.New("shard: the unprotected pmemobj mode is not servable (a serving layer that silently dropped every protection would be a footgun)")
 
-// rootMagic guards shard roots against foreign pools.
-const rootMagic uint64 = 0x5348415244303031 // "SHARD001"
-
-// rootType is the root object's Pangolin type id.
-const rootType = 0x53
-
-// shardRoot is each shard pool's persistent root object.
-type shardRoot struct {
-	Magic     uint64
-	Structure uint64 // registry ID of the kv structure
-	Index     uint64 // this shard's index
-	Count     uint64 // total shards in the set
-	MapAnchor pangolin.OID
-}
-
 // Options configures a shard set.
 type Options struct {
 	// Structure selects the kv structure by registry name; default
 	// "hashmap".
 	Structure string
+	// Backend selects each shard's storage backend: "pangolin" (the
+	// paper's engine; default), "logstore" (the append-only log
+	// baseline), or a comma list cycled across the shards ("pangolin,
+	// logstore" alternates) so one set can mix backends for A/B runs.
+	// Open ignores it — each shard's backend is rediscovered from its
+	// on-disk form.
+	Backend string
 	// Mode selects each shard pool's operation mode BY NAME ("pangolin",
 	// "pangolin-ml", "pangolin-mlp", "pangolin-mlpc"), overriding
 	// Pangolin.Mode. Empty defers to Pangolin.Mode. This is the explicit
 	// channel: requesting "pmemobj" fails with ErrUnprotectedMode, and an
 	// unknown name is an error, where the numeric field below cannot tell
-	// an explicit pmemobj request from the zero-value default.
+	// an explicit pmemobj request from the zero-value default. Pangolin
+	// shards only; the log backend has no modes.
 	Mode string
-	// Pangolin configures each shard pool. A zero (pmemobj) Mode always
-	// selects ModePangolinMLPC, the fully protected system: the
-	// unprotected baseline is numerically zero, so this field cannot
+	// Pangolin configures each pangolin shard pool. A zero (pmemobj)
+	// Mode always selects ModePangolinMLPC, the fully protected system:
+	// the unprotected baseline is numerically zero, so this field cannot
 	// carry an explicit pmemobj request — use Mode, which rejects it
-	// with a typed error instead of silently upgrading.
+	// with a typed error instead of silently upgrading. Pangolin.Scrub
+	// also bounds every backend's maintenance steps.
 	Pangolin pangolin.Config
+	// LogSegmentBytes is the log backend's segment rotation threshold;
+	// 0 selects the logstore default. Small values force rotation and
+	// compaction traffic (tests, the loadtest's backend phase).
+	LogSegmentBytes int64
 	// QueueLen is the per-shard request queue depth; default 128.
 	QueueLen int
 	// MaxBatch caps how many operations a shard worker folds into one
-	// group-committed transaction; default 64. A worker never waits to
+	// group-committed store batch; default 64. A worker never waits to
 	// fill a group — it drains what is already queued — so this bounds
-	// transaction size, not latency.
+	// batch size, not latency.
 	MaxBatch int
 	// SerialReads disables the concurrent verified-read fast path and
 	// routes every Get through the shard's worker goroutine (the
@@ -102,7 +111,8 @@ type Options struct {
 	// step, skipped with a backoff whenever that shard's worker is busy.
 	// 0 disables the scheduler; scrubbing then happens only on demand
 	// (Scrub / the server's SCRUB op). Step bounds come from
-	// Pangolin.Scrub.
+	// Pangolin.Scrub. On log shards the step doubles as the compaction
+	// driver: merges run through the same tick.
 	ScrubInterval time.Duration
 }
 
@@ -162,17 +172,31 @@ func (o *Options) maxBatch() int {
 	return o.MaxBatch
 }
 
-// Set is a sharded, concurrently usable key-value store over a
-// pangolin.PoolSet. All methods are safe for concurrent use; each
+// logOptions builds the log backend's per-shard options.
+func (o *Options) logOptions(structure string, i, n int) logstore.Options {
+	return logstore.Options{
+		Structure:    structure,
+		Index:        i,
+		Count:        n,
+		SegmentBytes: o.LogSegmentBytes,
+		Scrub:        o.Pangolin.Scrub,
+	}
+}
+
+// Set is a sharded, concurrently usable key-value store over per-shard
+// store.Store backends. All methods are safe for concurrent use; each
 // operation is serialized onto its shard's worker goroutine.
 type Set struct {
-	pools     *pangolin.PoolSet
+	dir       string
 	workers   []*worker
+	stores    []store.Store
 	structure registry.Structure
 	maint     *maintenance // background scrub scheduler; nil when disabled
 }
 
-// Create builds a new n-shard set in dir and starts its workers.
+// Create builds a new n-shard set in dir and starts its workers. The
+// per-shard backends come from opts.Backend; pangolin shards of the set
+// share one pangolin.PoolSet (sparse when backends are mixed).
 func Create(dir string, n int, opts Options) (*Set, error) {
 	structure, err := registry.ByName(opts.structure())
 	if err != nil {
@@ -182,38 +206,66 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	// NewPoolSet defers the snapshot writes: the Sync below persists the
-	// pools once, with their roots already initialized.
-	pools, err := pangolin.NewPoolSet(dir, n, cfg)
+	backends, err := store.ParseBackendSpec(opts.Backend, n)
 	if err != nil {
 		return nil, err
 	}
-	s := &Set{pools: pools, structure: structure}
-	for i := 0; i < pools.Len(); i++ {
-		p := pools.Pool(i)
-		m, err := structure.New(p)
+	var pgIdx []int
+	for i, b := range backends {
+		if b == store.BackendPangolin {
+			pgIdx = append(pgIdx, i)
+		}
+	}
+	// NewPoolSetShards defers the snapshot writes: the Sync below
+	// persists the pools once, with their roots already initialized.
+	var pools *pangolin.PoolSet
+	if len(pgIdx) > 0 {
+		pools, err = pangolin.NewPoolSetShards(dir, n, pgIdx, cfg)
 		if err != nil {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d: new %s: %w", i, structure.Name, err)
+			return nil, err
 		}
-		if err := writeRoot(p, shardRoot{
-			Magic:     rootMagic,
-			Structure: structure.ID,
-			Index:     uint64(i),
-			Count:     uint64(n),
-			MapAnchor: m.Anchor(),
-		}); err != nil {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d: root: %w", i, err)
+	} else if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	stores := make([]store.Store, n)
+	fail := func(upto int, err error) (*Set, error) {
+		for k := 0; k < upto; k++ {
+			stores[k].Close()
 		}
-		rom, err := readInstance(structure, p, m.Anchor(), opts)
+		if pools != nil {
+			// Pangolin pools not yet wrapped in a store still need closing.
+			for _, pi := range pgIdx {
+				if pi >= upto {
+					pools.Pool(pi).Close()
+				}
+			}
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var st store.Store
+		switch backends[i] {
+		case store.BackendPangolin:
+			st, err = pangolinstore.Create(pools, i, structure, cfg.Scrub)
+		case store.BackendLog:
+			st, err = logstore.Create(logstore.ShardDir(dir, i), opts.logOptions(structure.Name, i, n))
+		}
+		if err != nil {
+			return fail(i, fmt.Errorf("shard %d (%s): %w", i, backends[i], err))
+		}
+		stores[i] = st
+	}
+	s := &Set{dir: dir, stores: stores, structure: structure}
+	for i, st := range stores {
+		view, err := readView(st, opts)
 		if err != nil {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch(), cfg.Scrub))
+		s.workers = append(s.workers, newWorker(i, st, view, opts.queueLen(), opts.maxBatch()))
 	}
-	// Persist the freshly initialized roots and anchors.
+	// Persist the freshly initialized shards (pangolin roots and
+	// anchors; log manifests and empty tails).
 	if err := s.Sync(); err != nil {
 		s.Abandon()
 		return nil, err
@@ -222,97 +274,150 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 	return s, nil
 }
 
-// Open reopens the set in dir — running crash recovery on every shard pool
-// — reattaches each shard's structure, and starts the workers.
-// opts.Structure is ignored; the structure is read from the shard roots.
+// Open reopens the set in dir — rediscovering each shard's backend from
+// its on-disk form, running crash recovery on every shard — reattaches
+// each shard's structure, and starts the workers. opts.Structure and
+// opts.Backend are ignored; both are read from the shards themselves.
 func Open(dir string, opts Options) (*Set, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
 	}
-	pools, err := pangolin.OpenPoolSet(dir, cfg)
+	backends, err := DiscoverBackends(dir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Set{pools: pools}
-	for i := 0; i < pools.Len(); i++ {
-		p := pools.Pool(i)
-		root, err := readRoot(p)
-		if err != nil {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+	n := len(backends)
+	var pgIdx []int
+	for i, b := range backends {
+		if b == store.BackendPangolin {
+			pgIdx = append(pgIdx, i)
 		}
-		if root.Index != uint64(i) || root.Count != uint64(pools.Len()) {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d: root says shard %d of %d (set has %d files): shard files shuffled or mixed between sets",
-				i, root.Index, root.Count, pools.Len())
-		}
-		structure, err := registry.ByID(root.Structure)
+	}
+	var pools *pangolin.PoolSet
+	if len(pgIdx) > 0 {
+		pools, err = pangolin.OpenPoolSetShards(dir, n, pgIdx, cfg)
 		if err != nil {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, err
+		}
+	}
+	stores := make([]store.Store, n)
+	fail := func(upto int, err error) (*Set, error) {
+		for k := 0; k < upto; k++ {
+			stores[k].Close()
+		}
+		if pools != nil {
+			for _, pi := range pgIdx {
+				if pi >= upto {
+					pools.Pool(pi).Close()
+				}
+			}
+		}
+		return nil, err
+	}
+	var structure registry.Structure
+	for i := 0; i < n; i++ {
+		var name string
+		switch backends[i] {
+		case store.BackendPangolin:
+			st, err := pangolinstore.Open(pools, i, cfg.Scrub)
+			if err != nil {
+				return fail(i, fmt.Errorf("shard %d: %w", i, err))
+			}
+			stores[i] = st
+			name = st.Structure().Name
+		case store.BackendLog:
+			st, err := logstore.Open(logstore.ShardDir(dir, i), opts.logOptions("", i, n))
+			if err != nil {
+				return fail(i, fmt.Errorf("shard %d: %w", i, err))
+			}
+			stores[i] = st
+			name = st.Structure()
 		}
 		if i == 0 {
-			s.structure = structure
-		} else if structure.ID != s.structure.ID {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d holds %s but shard 0 holds %s", i, structure.Name, s.structure.Name)
+			if structure, err = registry.ByName(name); err != nil {
+				return fail(i+1, fmt.Errorf("shard %d: %w", i, err))
+			}
+		} else if name != structure.Name {
+			return fail(i+1, fmt.Errorf("shard %d holds %s but shard 0 holds %s", i, name, structure.Name))
 		}
-		m, err := structure.Attach(p, root.MapAnchor)
-		if err != nil {
-			s.Abandon()
-			return nil, fmt.Errorf("shard %d: attach %s: %w", i, structure.Name, err)
-		}
-		rom, err := readInstance(structure, p, root.MapAnchor, opts)
+	}
+	s := &Set{dir: dir, stores: stores, structure: structure}
+	for i, st := range stores {
+		view, err := readView(st, opts)
 		if err != nil {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, pools, p, m, rom, structure.Ordered, opts.queueLen(), opts.maxBatch(), cfg.Scrub))
+		s.workers = append(s.workers, newWorker(i, st, view, opts.queueLen(), opts.maxBatch()))
 	}
 	s.startMaint(opts.ScrubInterval)
 	return s, nil
 }
 
-// readInstance attaches a second, read-only instance of the shard's
-// structure to the pool's ReadView — the handle the fast path runs its
-// concurrent verified Lookups against. Returns nil (fast path off) under
-// SerialReads.
-func readInstance(structure registry.Structure, p *pangolin.Pool, anchor pangolin.OID, opts Options) (kv.Map, error) {
+// DiscoverBackends reads a set directory's per-shard backend layout:
+// shard i is pangolin when shard-%04d.pgl (a file) is present and
+// logstore when shard-%04d.log (a directory) is. Every index in
+// [0, max] must appear in exactly one form.
+func DiscoverBackends(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	backendAt := make(map[int]string)
+	max := -1
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "shard-") || len(name) < len("shard-")+4 {
+			continue
+		}
+		var backend string
+		switch {
+		case strings.HasSuffix(name, ".pgl") && !e.IsDir():
+			backend = store.BackendPangolin
+		case strings.HasSuffix(name, ".log") && e.IsDir():
+			backend = store.BackendLog
+		default:
+			continue
+		}
+		i, err := strconv.Atoi(name[len("shard-") : len(name)-len(".pgl")])
+		if err != nil {
+			continue
+		}
+		if prev, dup := backendAt[i]; dup {
+			return nil, fmt.Errorf("shard: %s holds both %s and %s files for shard %d", dir, prev, backend, i)
+		}
+		backendAt[i] = backend
+		if i > max {
+			max = i
+		}
+	}
+	if max < 0 {
+		return nil, fmt.Errorf("shard: no shard files in %s", dir)
+	}
+	out := make([]string, max+1)
+	for i := range out {
+		b, ok := backendAt[i]
+		if !ok {
+			return nil, fmt.Errorf("shard: shard files not contiguous: %s has no shard %d", dir, i)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// readView attaches the concurrent-read handle the fast path runs its
+// verified reads against. Returns nil — fast path off — under
+// SerialReads or when the backend lacks the capability.
+func readView(st store.Store, opts Options) (store.View, error) {
 	if opts.SerialReads {
 		return nil, nil
 	}
-	return structure.Attach(p.ReadView(), anchor)
-}
-
-func writeRoot(p *pangolin.Pool, r shardRoot) error {
-	oid, err := pangolin.Root[shardRoot](p, rootType)
-	if err != nil {
-		return err
+	rv, ok := st.(store.ReadViewer)
+	if !ok {
+		return nil, nil
 	}
-	return p.Run(func(tx *pangolin.Tx) error {
-		v, err := pangolin.Open[shardRoot](tx, oid)
-		if err != nil {
-			return err
-		}
-		*v = r
-		return nil
-	})
-}
-
-func readRoot(p *pangolin.Pool) (shardRoot, error) {
-	oid, err := pangolin.Root[shardRoot](p, rootType)
-	if err != nil {
-		return shardRoot{}, err
-	}
-	v, err := pangolin.GetFromPool[shardRoot](p, oid)
-	if err != nil {
-		return shardRoot{}, err
-	}
-	if v.Magic != rootMagic {
-		return shardRoot{}, fmt.Errorf("pool is not a shard pool (magic %#x)", v.Magic)
-	}
-	return *v, nil
+	return rv.ReadView()
 }
 
 // mix is the splitmix64 finalizer: it decorrelates shard choice from key
@@ -335,8 +440,8 @@ func (s *Set) Len() int { return len(s.workers) }
 // Structure returns the name of the kv structure the shards hold.
 func (s *Set) Structure() string { return s.structure.Name }
 
-// Dir returns the set's snapshot directory.
-func (s *Set) Dir() string { return s.pools.Dir() }
+// Dir returns the set's storage directory.
+func (s *Set) Dir() string { return s.dir }
 
 // Put inserts or updates k on its shard.
 func (s *Set) Put(k, v uint64) error {
@@ -345,8 +450,8 @@ func (s *Set) Put(k, v uint64) error {
 }
 
 // Get returns the value for k. Reads are served on the concurrent fast
-// path when possible: a checksum-verified Lookup runs directly against
-// the shard pool from the caller's goroutine, in parallel with other
+// path when possible: a checksum-verified read runs directly against
+// the shard store from the caller's goroutine, in parallel with other
 // readers, gated by the shard's reader/writer gate. When the worker owns
 // the gate (a group commit, save, crash image, scrub, or recovery window
 // is in progress) or the read hits a fault that needs repair, the read
@@ -375,7 +480,7 @@ func (s *Set) Del(k uint64) (bool, error) {
 // op on the shard. This is the path the server's pipelined connections
 // feed — submitted writes flow straight into the shard worker queue,
 // where the group-commit drain folds every queued op into one
-// transaction, so deeper pipelines directly produce bigger groups.
+// store batch, so deeper pipelines directly produce bigger groups.
 //
 // A BatchGet first tries the concurrent verified-read fast path on the
 // caller's goroutine (same rules as Get) and completes inline when it
@@ -426,9 +531,9 @@ func (s *Set) SubmitDel(k uint64, done func(BatchResult)) {
 
 // Batch executes ops and returns their results in matching order. The
 // ops are partitioned by shard; each shard executes its slice inside one
-// group-committed transaction (its commit is the linearization point for
-// the slice), and the shards run concurrently. There is no cross-shard
-// atomicity. If a shard's transaction fails, that shard's ops are
+// group-committed store batch (its commit is the linearization point
+// for the slice), and the shards run concurrently. There is no
+// cross-shard atomicity. If a shard's batch fails, that shard's ops are
 // retried individually, each with its own verdict in BatchResult.Err.
 func (s *Set) Batch(ops []BatchOp) []BatchResult {
 	out := make([]BatchResult, len(ops))
@@ -507,15 +612,14 @@ func (s *Set) fanOut(op uint8, seed int64) error {
 	return first
 }
 
-// Sync saves every shard to its snapshot file. Each save runs on the
-// shard's worker goroutine, so it never races a transaction; shards save
-// in parallel.
+// Sync saves every shard durably. Each save runs on the shard's worker
+// goroutine, so it never races a batch; shards save in parallel.
 func (s *Set) Sync() error { return s.fanOut(opSync, 0) }
 
-// CrashSave simulates a whole-machine power failure: every shard file is
-// replaced with a crash image of its device (unpersisted lines randomly
-// evicted or reverted). The live set keeps running; reopening the
-// directory recovers the crash state.
+// CrashSave simulates a whole-machine power failure: every shard
+// records a crash image of its state (unpersisted writes randomly
+// evicted, reverted, or cut, per backend). The live set keeps running;
+// reopening the directory recovers the crash state.
 func (s *Set) CrashSave(seed int64) error { return s.fanOut(opCrash, seed) }
 
 // Scrub runs a full scrubbing pass on every shard and returns the
@@ -554,9 +658,10 @@ func (s *Set) Scrub() (pangolin.ScrubReport, error) {
 // — so repeated count=1 calls with advancing seeds (how pglload drives
 // it) still exercise every shard, not just shard 0 (§4.6 fault
 // injection; the server's INJECT op). It returns how many objects were
-// actually corrupted — shards with no live objects inject nothing.
+// actually corrupted — shards with no live objects, and shards whose
+// backend has no injection hook (store.FaultInjector), inject nothing.
 // Each injection runs on its shard's worker goroutine, serialized with
-// transactions like every other pool access.
+// batches like every other store access.
 func (s *Set) InjectFaults(seed int64, count int) (int, error) {
 	injected := 0
 	var first error
@@ -615,9 +720,20 @@ func (s *Set) Stats() Stats {
 	for i, w := range s.workers {
 		results[i] = w.send(request{op: opStats})
 	}
+	var backends []string
 	for i, ch := range results {
 		r := <-ch
 		st.Shards[i] = r.stats
+		seen := false
+		for _, b := range backends {
+			if b == r.stats.Backend {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			backends = append(backends, r.stats.Backend)
+		}
 		st.ScrubSteps += r.stats.ScrubSteps
 		st.BgRepairs += r.stats.BgRepairs
 		st.ScrubBackoffs += r.stats.ScrubBackoffs
@@ -648,7 +764,12 @@ func (s *Set) Stats() Stats {
 		st.ScanFaults += r.stats.ScanFaults
 		st.Objects += r.stats.Objects
 		st.Bytes += r.stats.Bytes
+		st.Segments += r.stats.Segments
+		st.Compactions += r.stats.Compactions
+		st.MergedRecords += r.stats.MergedRecords
+		st.DeadRecords += r.stats.DeadRecords
 	}
+	st.Backends = strings.Join(backends, ",")
 	return st
 }
 
@@ -666,12 +787,20 @@ func (s *Set) Abandon() {
 	for _, w := range s.workers {
 		w.stop()
 	}
-	s.pools.Close()
+	for _, st := range s.stores {
+		if st != nil {
+			st.Close()
+		}
+	}
+	s.stores = nil
 }
 
 // ShardStats carries one shard's counters.
 type ShardStats struct {
 	Index int `json:"index"`
+	// Backend names this shard's storage backend ("pangolin" or
+	// "logstore").
+	Backend string `json:"backend"`
 	// Gets counts reads served by the worker goroutine; FastGets counts
 	// reads served on the concurrent fast path (callers' goroutines,
 	// checksum-verified, no worker hop). Total reads = Gets + FastGets.
@@ -691,20 +820,20 @@ type ShardStats struct {
 	FastFaults    uint64 `json:"fast_faults"`
 	// Errors counts failed data operations.
 	Errors uint64 `json:"errors"`
-	// Batches counts group commits: transactions that carried more than
+	// Batches counts group commits: store batches that carried more than
 	// one operation. BatchedOps is the operations they carried, so
 	// BatchedOps/Batches is the shard's achieved group size.
 	Batches    uint64 `json:"batches"`
 	BatchedOps uint64 `json:"batched_ops"`
-	// GroupFallbacks counts groups whose transaction failed and whose
-	// ops were retried individually.
+	// GroupFallbacks counts groups whose batch failed and whose ops were
+	// retried individually.
 	GroupFallbacks uint64 `json:"group_fallbacks"`
 	// Scan chunk accounting, mirroring the Get split: FastScans counts
-	// chunks served on the concurrent fast path (ReadView scans under
-	// the reader gate, no worker hop) and Scans counts chunks served by
-	// the worker's repairing path; ScanFallbacks/ScanFaults count
-	// chunks bounced to the worker by cause (gate busy/freeze vs a
-	// fault needing repair). Pairs are the key/value pairs the chunks
+	// chunks served on the concurrent fast path (view scans under the
+	// reader gate, no worker hop) and Scans counts chunks served by the
+	// worker's repairing path; ScanFallbacks/ScanFaults count chunks
+	// bounced to the worker by cause (gate busy/freeze vs a fault
+	// needing repair). Pairs are the key/value pairs the chunks
 	// returned. Tests assert FastScans > 0 to prove fast-path scans
 	// engage.
 	Scans         uint64 `json:"scans"`
@@ -729,11 +858,23 @@ type ShardStats struct {
 	LastFullPass  int64  `json:"last_full_pass_unix"`
 	Objects       int    `json:"objects"`
 	Bytes         uint64 `json:"bytes"`
+	// Log-backend counters, zero on pangolin shards: Segments is the
+	// shard's current segment file count; Compactions counts merged
+	// (deleted) segments; MergedRecords counts live records compaction
+	// copied forward; DeadRecords is the currently reclaimable record
+	// count (overwritten or deleted entries still occupying log space).
+	Segments      int    `json:"segments,omitempty"`
+	Compactions   uint64 `json:"compactions,omitempty"`
+	MergedRecords uint64 `json:"merged_records,omitempty"`
+	DeadRecords   uint64 `json:"dead_records,omitempty"`
 }
 
 // Stats aggregates the set's counters.
 type Stats struct {
-	Structure      string       `json:"structure"`
+	Structure string `json:"structure"`
+	// Backends lists the distinct shard backends in shard order
+	// ("pangolin", "logstore", or "pangolin,logstore" for a mixed set).
+	Backends       string       `json:"backends"`
 	NumShards      int          `json:"num_shards"`
 	Gets           uint64       `json:"gets"`
 	Puts           uint64       `json:"puts"`
@@ -760,5 +901,9 @@ type Stats struct {
 	LastFullPass   int64        `json:"last_full_pass_unix"` // oldest shard's; 0 while any shard has no pass
 	Objects        int          `json:"objects"`
 	Bytes          uint64       `json:"bytes"`
+	Segments       int          `json:"segments"`
+	Compactions    uint64       `json:"compactions"`
+	MergedRecords  uint64       `json:"merged_records"`
+	DeadRecords    uint64       `json:"dead_records"`
 	Shards         []ShardStats `json:"shards"`
 }

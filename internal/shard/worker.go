@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"github.com/pangolin-go/pangolin"
-	"github.com/pangolin-go/pangolin/structures/kv"
+	"github.com/pangolin-go/pangolin/internal/store"
 )
 
 // Worker operations.
@@ -20,10 +20,10 @@ const (
 	opBatch // a client-supplied group of Get/Put/Del for this shard
 	opScan  // one scan chunk on the owner (repairing) read path
 	opStats
-	opSync      // save this shard's snapshot file
-	opCrash     // write a crash image over this shard's snapshot file
+	opSync      // save this shard durably
+	opCrash     // persist a crash image of this shard
 	opScrub     // a full pass: bounded steps interleaved with requests
-	opScrubStep // one bounded step of the shard's persistent scrubber
+	opScrubStep // one bounded step of the shard's background maintenance
 	opInject    // corrupt a random live object (fault-injection hook)
 )
 
@@ -87,39 +87,46 @@ type response struct {
 	scrub pangolin.ScrubReport
 }
 
-// worker owns one shard: its pool, its kv structure, and the only
-// goroutine that ever touches them (§3.4 single-writer discipline). It
-// also owns the shard's snapshot file via the PoolSet, so saves and data
-// transactions cannot interleave.
+// worker owns one shard: its store.Store and the only goroutine that
+// ever mutates it (§3.4 single-writer discipline, generalized — every
+// backend's Store belongs to one owner goroutine). It also owns the
+// shard's durable files via the store's Save/CrashSave, so saves and
+// data batches cannot interleave.
 //
 // The worker group-commits: after taking a request it opportunistically
 // drains whatever else is queued and executes every pending PUT/DEL/GET
-// for the shard inside one pool transaction — one log persist, one
-// fence, one parity pass — then answers each waiter individually. The
-// commit is the linearization point for everything in the group. If the
-// group's transaction fails, every request is retried in its own
-// transaction, so one poisoned op cannot take its batchmates down.
+// for the shard as one atomic store.Apply batch — one pool transaction
+// for the pangolin backend, one committed log append for the log
+// backend — then answers each waiter individually. The applied batch is
+// the linearization point for everything in the group. If the batch
+// fails, every request is retried on its own, so one poisoned op cannot
+// take its batchmates down.
 type worker struct {
 	idx      int
-	pools    *pangolin.PoolSet
-	pool     *pangolin.Pool
-	m        kv.Map
+	st       store.Store
 	maxBatch int
-	ordered  bool // the structure's Scan yields ascending keys
+	ordered  bool // the store's Scan yields ascending keys
 
-	// Concurrent verified-read fast path. rom is a second instance of
-	// the shard's structure attached to the pool's ReadView; callers'
-	// goroutines run checksum-verified Lookups on it directly, holding
-	// gate's read side. The worker takes the write side around every
-	// pool access (transactions, saves, crash images, scrubs), so
-	// readers run in parallel with each other and never overlap a
-	// mutation. Readers only ever TryRLock: if the worker holds or
-	// wants the gate — a group commit, a save, a scrub or recovery
-	// window — the read falls back to the worker queue instead of
-	// blocking, which is also what keeps the fast path deadlock-free.
-	// rom is nil when Options.SerialReads disabled the fast path.
+	// Optional backend capabilities, type-asserted once at construction;
+	// nil when the backend does not provide them. scrubber serves full
+	// SCRUB passes and the repair-retry heal path; injector serves
+	// INJECT (nil reports "nothing injected").
+	scrubber store.ScrubRunner
+	injector store.FaultInjector
+
+	// Concurrent verified-read fast path. view is the store's ReadView
+	// capability handle; callers' goroutines run verified reads on it
+	// directly, holding gate's read side. The worker takes the write
+	// side around every store access (batches, saves, crash images,
+	// scrubs), so readers run in parallel with each other and never
+	// overlap a mutation. Readers only ever TryRLock: if the worker
+	// holds or wants the gate — a group commit, a save, a scrub or
+	// recovery window — the read falls back to the worker queue instead
+	// of blocking, which is also what keeps the fast path deadlock-free.
+	// view is nil when Options.SerialReads disabled the fast path or the
+	// backend lacks store.ReadViewer.
 	gate sync.RWMutex
-	rom  kv.Map
+	view store.View
 
 	// Fast-path counters, touched from many reader goroutines.
 	fastGets      atomic.Uint64 // reads served on the fast path
@@ -157,7 +164,6 @@ type worker struct {
 	scratch                             []request // loop-local drain buffer
 
 	// Maintenance state, touched only by the worker goroutine.
-	scrubCfg         pangolin.ScrubberConfig
 	scrubSteps       uint64 // scrub steps executed (scheduler + full passes)
 	bgRepairs        uint64 // repairs made by scheduler-driven steps
 	scrubErrs        uint64 // scrub steps/passes that failed
@@ -165,9 +171,9 @@ type worker struct {
 	fullScrub        *fullScrubJob
 
 	// withHeal futility throttle: when a heal pass fixes nothing, the
-	// corruption at that locus is beyond parity's reach and re-running
-	// a pass per failing op would stall the shard; heals for the same
-	// locus are suppressed for a cooldown. Keyed per failing
+	// corruption at that locus is beyond the backend's redundancy and
+	// re-running a pass per failing op would stall the shard; heals for
+	// the same locus are suppressed for a cooldown. Keyed per failing
 	// object/page (so unrelated, recoverable corruption elsewhere still
 	// heals immediately), with a bounded map — at the cap, the throttle
 	// degrades to shard-global so a storm of distinct unhealable loci
@@ -176,30 +182,29 @@ type worker struct {
 	healsThrottle time.Time // shard-global fallback once futileHeals is full
 }
 
-// fullScrubJob is an in-progress SCRUB pass: a fresh scrubber stepped to
-// completion by the worker loop, with queued client requests served
+// fullScrubJob is an in-progress SCRUB pass: a fresh scrub pass stepped
+// to completion by the worker loop, with queued client requests served
 // between steps — the full pass is a fixpoint of bounded steps, never a
 // stop-the-world sweep. Requests that arrive while a pass is running
 // join as waiters and share its report.
 type fullScrubJob struct {
-	sc      *pangolin.Scrubber
+	sc      store.ScrubPass
 	total   pangolin.ScrubReport
 	waiters []chan response
 }
 
-func newWorker(idx int, pools *pangolin.PoolSet, pool *pangolin.Pool, m, rom kv.Map, ordered bool, queueLen, maxBatch int, scrubCfg pangolin.ScrubberConfig) *worker {
+func newWorker(idx int, st store.Store, view store.View, queueLen, maxBatch int) *worker {
 	w := &worker{
 		idx:      idx,
-		pools:    pools,
-		pool:     pool,
-		m:        m,
-		rom:      rom,
-		ordered:  ordered,
+		st:       st,
+		view:     view,
+		ordered:  st.Ordered(),
 		maxBatch: maxBatch,
-		scrubCfg: scrubCfg,
 		reqs:     make(chan request, queueLen),
 		exited:   make(chan struct{}),
 	}
+	w.scrubber, _ = st.(store.ScrubRunner)
+	w.injector, _ = st.(store.FaultInjector)
 	go w.loop()
 	return w
 }
@@ -212,12 +217,12 @@ func (w *worker) isClosed() bool {
 }
 
 // fastGet attempts to serve a Get on the concurrent fast path: a
-// checksum-verified Lookup against the shard pool from the caller's
-// goroutine, under the reader gate. served=false means the caller must
-// route the request through the worker (gate contended, freeze window,
-// or a fault that needs the worker's repairing read path).
+// verified read against the store's view from the caller's goroutine,
+// under the reader gate. served=false means the caller must route the
+// request through the worker (gate contended, freeze window, or a fault
+// that needs the worker's repairing read path).
 func (w *worker) fastGet(k uint64) (v uint64, ok bool, err error, served bool) {
-	if w.rom == nil {
+	if w.view == nil {
 		return 0, false, nil, false
 	}
 	if w.isClosed() {
@@ -227,7 +232,7 @@ func (w *worker) fastGet(k uint64) (v uint64, ok bool, err error, served bool) {
 		w.fastFallbacks.Add(1)
 		return 0, false, nil, false
 	}
-	v, ok, err = w.rom.Lookup(k)
+	v, ok, err = w.view.Get(k)
 	w.gate.RUnlock()
 	if err != nil {
 		if pangolin.ReadBusy(err) {
@@ -250,7 +255,7 @@ func (w *worker) fastGet(k uint64) (v uint64, ok bool, err error, served bool) {
 // batch has no transaction and no group atomicity to preserve). Any
 // error bounces the entire slice to the worker.
 func (w *worker) fastGetBatch(ops []BatchOp) ([]BatchResult, bool) {
-	if w.rom == nil || w.isClosed() {
+	if w.view == nil || w.isClosed() {
 		return nil, false
 	}
 	if !w.gate.TryRLock() {
@@ -260,7 +265,7 @@ func (w *worker) fastGetBatch(ops []BatchOp) ([]BatchResult, bool) {
 	res := make([]BatchResult, len(ops))
 	hits := uint64(0)
 	for i, op := range ops {
-		v, ok, err := w.rom.Lookup(op.K)
+		v, ok, err := w.view.Get(op.K)
 		if err != nil {
 			w.gate.RUnlock()
 			if pangolin.ReadBusy(err) {
@@ -282,7 +287,7 @@ func (w *worker) fastGetBatch(ops []BatchOp) ([]BatchResult, bool) {
 }
 
 // scanChunk returns the up-to-max smallest pairs with keys in [lo, hi],
-// ascending. It first attempts the concurrent fast path (a ReadView scan
+// ascending. It first attempts the concurrent fast path (a view scan
 // under the reader gate on the caller's goroutine); a gate-busy, freeze,
 // or fault chunk falls back to the worker queue, whose repairing read
 // path serializes with everything else. len(result) < max means the
@@ -301,7 +306,7 @@ func (w *worker) scanChunk(lo, hi uint64, max int) ([]Pair, error) {
 // gate every chunk and never starves the worker's group commits.
 // served=false means the caller must route the chunk through the worker.
 func (w *worker) fastScanChunk(lo, hi uint64, max int) (pairs []Pair, err error, served bool) {
-	if w.rom == nil {
+	if w.view == nil {
 		return nil, nil, false
 	}
 	if w.isClosed() {
@@ -311,7 +316,7 @@ func (w *worker) fastScanChunk(lo, hi uint64, max int) (pairs []Pair, err error,
 		w.scanFallbacks.Add(1)
 		return nil, nil, false
 	}
-	pairs, err = scanCollect(w.rom, w.ordered, lo, hi, max)
+	pairs, err = scanCollect(w.view, w.ordered, lo, hi, max)
 	w.gate.RUnlock()
 	if err != nil {
 		if pangolin.ReadBusy(err) {
@@ -326,12 +331,19 @@ func (w *worker) fastScanChunk(lo, hi uint64, max int) (pairs []Pair, err error,
 	return pairs, nil, true
 }
 
+// scanner is the ranged-iteration surface scanCollect consumes; both
+// store.Store and store.View provide it.
+type scanner interface {
+	Scan(lo, hi uint64, fn func(k, v uint64) bool) error
+}
+
 // scanCollect gathers the up-to-max smallest in-range pairs from one
-// structure instance, ascending. Ordered structures stream ascending
-// already, so the scan early-stops at max pairs; the unordered hashmap
-// must visit the whole range, so the collector keeps a sorted bound of
-// the max smallest seen (bounded memory, one full pass per chunk).
-func scanCollect(m kv.Map, ordered bool, lo, hi uint64, max int) ([]Pair, error) {
+// scan source, ascending. Ordered sources stream ascending already, so
+// the scan early-stops at max pairs; unordered sources (hashmap, the
+// log backend's index) must visit the whole range, so the collector
+// keeps a sorted bound of the max smallest seen (bounded memory, one
+// full pass per chunk).
+func scanCollect(m scanner, ordered bool, lo, hi uint64, max int) ([]Pair, error) {
 	if max <= 0 || lo > hi {
 		return nil, nil
 	}
@@ -425,7 +437,7 @@ func (w *worker) trySend(req request) (chan response, bool) {
 }
 
 // stop shuts the worker down after every enqueued request has been
-// answered; the pool is safe to close once stop returns.
+// answered; the store is safe to close once stop returns.
 func (w *worker) stop() {
 	w.mu.Lock()
 	if w.closed {
@@ -541,12 +553,18 @@ func (w *worker) loop() {
 
 // startFullScrub begins (or joins) a full scrub pass for the waiter. The
 // loop steps the pass whenever the queue is idle; every waiter gets the
-// completed pass's merged report.
+// completed pass's merged report. A backend without the ScrubRunner
+// capability answers immediately with an empty report whose
+// ChecksumsVerified is false — "nothing was verified", not an error.
 func (w *worker) startFullScrub(reply chan response) {
+	if w.scrubber == nil {
+		reply <- response{scrub: pangolin.ScrubReport{}}
+		return
+	}
 	if w.fullScrub == nil {
 		w.fullScrub = &fullScrubJob{
-			sc:    w.pool.NewScrubber(w.scrubCfg),
-			total: pangolin.ScrubReport{ChecksumsVerified: w.pool.Mode().Checksums()},
+			sc:    w.scrubber.NewScrubPass(),
+			total: pangolin.ScrubReport{ChecksumsVerified: w.scrubber.ChecksumsVerified()},
 		}
 	}
 	w.fullScrub.waiters = append(w.fullScrub.waiters, reply)
@@ -588,7 +606,7 @@ func (w *worker) failScrubWaiters() {
 }
 
 // handleLocked runs one request with the reader gate's write side held,
-// excluding fast-path readers for the duration of the pool access. The
+// excluding fast-path readers for the duration of the store access. The
 // gate is taken here — around execution only, never around the queue
 // receive — so readers get the gate back between every request.
 func (w *worker) handleLocked(req request) response {
@@ -597,14 +615,54 @@ func (w *worker) handleLocked(req request) response {
 	return w.handle(req)
 }
 
+// storeKind maps a BatchOp kind to its store.Op kind.
+func storeKind(kind uint8) (uint8, error) {
+	switch kind {
+	case BatchGet:
+		return store.OpGet, nil
+	case BatchPut:
+		return store.OpPut, nil
+	case BatchDel:
+		return store.OpDel, nil
+	default:
+		return 0, fmt.Errorf("unknown batch kind %d", kind)
+	}
+}
+
+// flattenGroup lowers a group of requests into one store.Apply batch.
+func flattenGroup(group []request, total int) ([]store.Op, error) {
+	ops := make([]store.Op, 0, total)
+	for _, r := range group {
+		switch r.op {
+		case opPut:
+			ops = append(ops, store.Op{Kind: store.OpPut, K: r.k, V: r.v})
+		case opGet:
+			ops = append(ops, store.Op{Kind: store.OpGet, K: r.k})
+		case opDel:
+			ops = append(ops, store.Op{Kind: store.OpDel, K: r.k})
+		case opBatch:
+			for _, op := range r.ops {
+				kind, err := storeKind(op.Kind)
+				if err != nil {
+					return nil, err
+				}
+				ops = append(ops, store.Op{Kind: kind, K: op.K, V: op.V})
+			}
+		default:
+			return nil, fmt.Errorf("op %d inside a group", r.op)
+		}
+	}
+	return ops, nil
+}
+
 // runGroup executes a group of data requests. Groups with at least one
-// mutation and more than one op run inside a single pool transaction;
-// read-only or single-op groups take the plain per-op path (GETs need no
-// transaction at all).
+// mutation and more than one op run as a single atomic store.Apply
+// batch; read-only or single-op groups take the plain per-op path (GETs
+// need no transaction at all).
 func (w *worker) runGroup(group []request) {
 	// A batch request larger than the group window arrives alone in its
 	// group (opCount(req) ≥ maxBatch keeps the drain from adding to it):
-	// execute it in window-sized transaction chunks and merge the per-op
+	// execute it in window-sized batch chunks and merge the per-op
 	// results, so the documented MaxBatch bound holds for client batches
 	// too. Atomicity is then per chunk, which is what doc.go promises
 	// for batches beyond the window.
@@ -638,37 +696,50 @@ func (w *worker) runGroup(group []request) {
 		}
 		return
 	}
-	resps := make([]response, len(group))
-	err := w.pool.Run(func(tx *pangolin.Tx) error {
-		for i, r := range group {
-			resp, err := w.handleTx(tx, r)
-			if err != nil {
-				return err
-			}
-			resps[i] = resp
-		}
-		return nil
-	})
+	ops, err := flattenGroup(group, total)
+	var results []store.Result
+	if err == nil {
+		results, err = w.st.Apply(ops)
+	}
 	if err == nil {
 		w.batches++
 		w.batchedOps += uint64(total)
-		for i, r := range group {
-			w.countGroup(group[i], resps[i])
-			r.deliver(resps[i])
+		ri := 0
+		for _, r := range group {
+			var resp response
+			switch r.op {
+			case opPut:
+				ri++
+			case opGet:
+				resp = response{v: results[ri].V, ok: results[ri].OK}
+				ri++
+			case opDel:
+				resp = response{ok: results[ri].OK}
+				ri++
+			case opBatch:
+				br := make([]BatchResult, len(r.ops))
+				for j := range r.ops {
+					br[j] = BatchResult{V: results[ri].V, OK: results[ri].OK}
+					ri++
+				}
+				resp = response{batch: br}
+			}
+			w.countGroup(r, resp)
+			r.deliver(resp)
 		}
 		return
 	}
-	// The group's transaction aborted (nothing reached NVMM). Retry each
-	// request in its own transaction so one bad op can't poison its
-	// batchmates; each waiter gets its op's own verdict.
+	// The group's batch aborted (nothing was applied). Retry each
+	// request on its own so one bad op can't poison its batchmates; each
+	// waiter gets its op's own verdict.
 	w.groupFallbacks++
 	for _, r := range group {
 		r.deliver(w.handle(r))
 	}
 }
 
-// execBatchChunk runs one window-sized slice of an oversized batch in a
-// single transaction, with the same per-op fallback as a group.
+// execBatchChunk runs one window-sized slice of an oversized batch as a
+// single atomic store batch, with the same per-op fallback as a group.
 func (w *worker) execBatchChunk(ops []BatchOp) []BatchResult {
 	sub := request{op: opBatch, ops: ops}
 	muts := 0
@@ -680,64 +751,24 @@ func (w *worker) execBatchChunk(ops []BatchOp) []BatchResult {
 	if muts == 0 || len(ops) == 1 {
 		return w.handle(sub).batch
 	}
-	var resp response
-	err := w.pool.Run(func(tx *pangolin.Tx) error {
-		var err error
-		resp, err = w.handleTx(tx, sub)
-		return err
-	})
+	sops, err := flattenGroup([]request{sub}, len(ops))
+	var results []store.Result
+	if err == nil {
+		results, err = w.st.Apply(sops)
+	}
 	if err == nil {
 		w.batches++
 		w.batchedOps += uint64(len(ops))
+		br := make([]BatchResult, len(ops))
+		for i := range ops {
+			br[i] = BatchResult{V: results[i].V, OK: results[i].OK}
+		}
+		resp := response{batch: br}
 		w.countGroup(sub, resp)
-		return resp.batch
+		return br
 	}
 	w.groupFallbacks++
 	return w.handle(sub).batch
-}
-
-// handleTx executes one groupable request inside the group's transaction.
-// Any error aborts the whole group (the structure may be half-modified);
-// counters are deferred until the commit succeeds.
-func (w *worker) handleTx(tx *pangolin.Tx, req request) (response, error) {
-	switch req.op {
-	case opPut:
-		return response{}, w.m.InsertTx(tx, req.k, req.v)
-	case opGet:
-		v, ok, err := w.m.LookupTx(tx, req.k)
-		return response{v: v, ok: ok}, err
-	case opDel:
-		ok, err := w.m.RemoveTx(tx, req.k)
-		return response{ok: ok}, err
-	case opBatch:
-		res := make([]BatchResult, len(req.ops))
-		for i, op := range req.ops {
-			switch op.Kind {
-			case BatchPut:
-				if err := w.m.InsertTx(tx, op.K, op.V); err != nil {
-					return response{}, err
-				}
-				res[i] = BatchResult{OK: true}
-			case BatchGet:
-				v, ok, err := w.m.LookupTx(tx, op.K)
-				if err != nil {
-					return response{}, err
-				}
-				res[i] = BatchResult{V: v, OK: ok}
-			case BatchDel:
-				ok, err := w.m.RemoveTx(tx, op.K)
-				if err != nil {
-					return response{}, err
-				}
-				res[i] = BatchResult{OK: ok}
-			default:
-				return response{}, fmt.Errorf("shard %d: unknown batch kind %d", w.idx, op.Kind)
-			}
-		}
-		return response{batch: res}, nil
-	default:
-		return response{}, fmt.Errorf("shard %d: op %d inside a group", w.idx, req.op)
-	}
 }
 
 // countGroup applies the op counters for one group-committed request.
@@ -783,12 +814,13 @@ const maxFutileLoci = 64
 // typed invalid-OID failure a scribbled pointer produces when a
 // traversal follows it before any verification could flag its object
 // (the Table 4 vulnerability window) — one full scrub pass runs and the
-// op retries. The pass restores the scribbled object from parity, so
-// the retry serves repaired data and the client never sees the
-// corruption. Non-corruption failures (out of space, shutdown) return
-// as-is: a pass can't help them and must not become their per-op tax,
-// and a pass that fixed nothing starts the futility cooldown so
-// unrecoverable damage errors cheaply instead of re-scrubbing per op.
+// op retries. On a backend with redundancy (pangolin) the pass restores
+// the scribbled object from parity, so the retry serves repaired data
+// and the client never sees the corruption; on a detect-only backend
+// the pass fixes nothing and the futility cooldown turns the damage
+// into a cheap typed error instead of a per-op full pass.
+// Non-corruption failures (out of space, shutdown) return as-is: a pass
+// can't help them and must not become their per-op tax.
 //
 // The caller holds the reader gate's write side (every handle() path
 // does); the heal releases it between steps so fast-path readers keep
@@ -797,6 +829,9 @@ func (w *worker) withHeal(fn func() error) error {
 	err := fn()
 	if err == nil || (!pangolin.IsCorruption(err) && !pangolin.IsPoison(err)) {
 		return err
+	}
+	if w.scrubber == nil {
+		return err // no pass to heal with
 	}
 	key := faultKey(err)
 	if time.Since(w.healsThrottle) < healCooldown {
@@ -860,8 +895,8 @@ func faultKey(err error) uint64 {
 // again on return) — the shard never reverts to a stop-the-world pass,
 // even on the repair path.
 func (w *worker) healPass() (pangolin.ScrubReport, error) {
-	sc := w.pool.NewScrubber(w.scrubCfg)
-	total := pangolin.ScrubReport{ChecksumsVerified: w.pool.Mode().Checksums()}
+	sc := w.scrubber.NewScrubPass()
+	total := pangolin.ScrubReport{ChecksumsVerified: w.scrubber.ChecksumsVerified()}
 	for {
 		rep, done, err := sc.Step()
 		total.Add(rep)
@@ -874,11 +909,23 @@ func (w *worker) healPass() (pangolin.ScrubReport, error) {
 	}
 }
 
+// applyOne runs a single mutation as its own one-op store batch.
+func (w *worker) applyOne(op store.Op) (store.Result, error) {
+	results, err := w.st.Apply([]store.Op{op})
+	if err != nil {
+		return store.Result{}, err
+	}
+	return results[0], nil
+}
+
 func (w *worker) handle(req request) response {
 	switch req.op {
 	case opPut:
 		w.puts++
-		err := w.withHeal(func() error { return w.m.Insert(req.k, req.v) })
+		err := w.withHeal(func() error {
+			_, e := w.applyOne(store.Op{Kind: store.OpPut, K: req.k, V: req.v})
+			return e
+		})
 		if err != nil {
 			w.errs++
 		}
@@ -888,7 +935,7 @@ func (w *worker) handle(req request) response {
 		var v uint64
 		var ok bool
 		err := w.withHeal(func() (e error) {
-			v, ok, e = w.m.Lookup(req.k)
+			v, ok, e = w.st.Get(req.k)
 			return e
 		})
 		if err != nil {
@@ -902,7 +949,8 @@ func (w *worker) handle(req request) response {
 		w.dels++
 		var ok bool
 		err := w.withHeal(func() (e error) {
-			ok, e = w.m.Remove(req.k)
+			res, e := w.applyOne(store.Op{Kind: store.OpDel, K: req.k})
+			ok = res.OK
 			return e
 		})
 		if err != nil {
@@ -910,14 +958,17 @@ func (w *worker) handle(req request) response {
 		}
 		return response{ok: ok, err: err}
 	case opBatch:
-		// Per-op execution of a batch request: each op in its own
-		// transaction with its own verdict.
+		// Per-op execution of a batch request: each op on its own with
+		// its own verdict.
 		res := make([]BatchResult, len(req.ops))
 		for i, op := range req.ops {
 			switch op.Kind {
 			case BatchPut:
 				w.puts++
-				err := w.withHeal(func() error { return w.m.Insert(op.K, op.V) })
+				err := w.withHeal(func() error {
+					_, e := w.applyOne(store.Op{Kind: store.OpPut, K: op.K, V: op.V})
+					return e
+				})
 				if err != nil {
 					w.errs++
 				}
@@ -927,7 +978,7 @@ func (w *worker) handle(req request) response {
 				var v uint64
 				var ok bool
 				err := w.withHeal(func() (e error) {
-					v, ok, e = w.m.Lookup(op.K)
+					v, ok, e = w.st.Get(op.K)
 					return e
 				})
 				if err != nil {
@@ -941,7 +992,8 @@ func (w *worker) handle(req request) response {
 				w.dels++
 				var ok bool
 				err := w.withHeal(func() (e error) {
-					ok, e = w.m.Remove(op.K)
+					r, e := w.applyOne(store.Op{Kind: store.OpDel, K: op.K})
+					ok = r.OK
 					return e
 				})
 				if err != nil {
@@ -955,12 +1007,12 @@ func (w *worker) handle(req request) response {
 		}
 		return response{batch: res}
 	case opScan:
-		// The worker-path scan chunk: the owner instance's repairing
-		// reads, serialized with transactions like every worker op.
+		// The worker-path scan chunk: the owner store's repairing reads,
+		// serialized with batches like every worker op.
 		w.scans++
 		var pairs []Pair
 		err := w.withHeal(func() (e error) {
-			pairs, e = scanCollect(w.m, w.ordered, req.k, req.v, req.max)
+			pairs, e = scanCollect(w.st, w.ordered, req.k, req.v, req.max)
 			return e
 		})
 		if err != nil {
@@ -969,9 +1021,10 @@ func (w *worker) handle(req request) response {
 		w.scanPairs += uint64(len(pairs))
 		return response{pairs: pairs, err: err}
 	case opStats:
-		live := w.pool.LiveObjects()
+		sst := w.st.Stats()
 		return response{stats: ShardStats{
 			Index:          w.idx,
+			Backend:        sst.Backend,
 			Gets:           w.gets,
 			Puts:           w.puts,
 			Dels:           w.dels,
@@ -995,19 +1048,23 @@ func (w *worker) handle(req request) response {
 			ScrubBackoffs:  w.scrubBackoffs.Load(),
 			ScrubErrors:    w.scrubErrs,
 			LastFullPass:   w.lastFullPassUnix,
-			Objects:        live.Objects,
-			Bytes:          live.Bytes,
+			Objects:        sst.Objects,
+			Bytes:          sst.Bytes,
+			Segments:       sst.Segments,
+			Compactions:    sst.Compactions,
+			MergedRecords:  sst.MergedRecords,
+			DeadRecords:    sst.DeadRecords,
 		}}
 	case opSync:
-		return response{err: w.pools.SaveShard(w.idx)}
+		return response{err: w.st.Save()}
 	case opCrash:
-		return response{err: w.pools.CrashSaveShard(w.idx, pangolin.CrashEvictRandom, req.seed)}
+		return response{err: w.st.CrashSave(req.seed)}
 	case opScrubStep:
-		// One bounded step of the shard's persistent scrubber — the
+		// One bounded step of the shard's background maintenance — the
 		// maintenance scheduler's unit of work. Repairs it makes count
 		// as background repairs; a completed pass stamps the shard's
 		// scrub health.
-		rep, done, err := w.pool.ScrubStep()
+		rep, done, err := w.st.ScrubStep()
 		if err != nil {
 			// The scheduler fires and forgets; the error must not vanish
 			// with the reply — scrub_errors is the operator's signal that
@@ -1024,8 +1081,12 @@ func (w *worker) handle(req request) response {
 	case opInject:
 		// Fault-injection hook (§4.6): corrupt one random live object so
 		// tests and the loadtest corruption phase can prove the
-		// maintenance subsystem heals a live pool.
-		ok := w.pool.InjectRandomFault(req.seed)
+		// maintenance subsystem heals a live shard. Backends without the
+		// capability (nothing to heal with) inject nothing.
+		ok := false
+		if w.injector != nil {
+			ok = w.injector.InjectFault(req.seed)
+		}
 		return response{ok: ok}
 	default:
 		return response{err: fmt.Errorf("shard %d: unknown op %d", w.idx, req.op)}

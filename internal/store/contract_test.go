@@ -1,0 +1,510 @@
+// Backend contract suite: every store.Store backend must pass the same
+// behavioral checks — single and batched operations, batch atomicity,
+// complete scans, reopen-after-save, crash-image recovery, and typed
+// corruption surfacing — so the shard layer can treat backends as
+// interchangeable. The suite is parameterized over a harness per
+// backend; adding a backend means adding a harness, not new tests.
+package store_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/internal/store"
+	"github.com/pangolin-go/pangolin/internal/store/logstore"
+	"github.com/pangolin-go/pangolin/internal/store/pangolinstore"
+	"github.com/pangolin-go/pangolin/structures/kv/registry"
+)
+
+// harness creates and reopens one backend's store in a directory. The
+// corrupt hook damages one live record/object on media so the typed
+// corruption test can run per backend; injects reports whether the
+// backend is expected to provide store.FaultInjector.
+type harness struct {
+	name    string
+	injects bool
+	create  func(t *testing.T, dir string) store.Store
+	open    func(t *testing.T, dir string) store.Store
+	corrupt func(t *testing.T, st store.Store, dir string)
+}
+
+func pgConfig() pangolin.Config {
+	return pangolin.Config{Mode: pangolin.ModePangolinMLPC}
+}
+
+func harnesses(t *testing.T) []harness {
+	structure, err := registry.ByName("hashmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []harness{
+		{
+			name:    "pangolin",
+			injects: true,
+			create: func(t *testing.T, dir string) store.Store {
+				pools, err := pangolin.NewPoolSet(dir, 1, pgConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := pangolinstore.Create(pools, 0, structure, pangolin.ScrubberConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+			open: func(t *testing.T, dir string) store.Store {
+				pools, err := pangolin.OpenPoolSet(dir, pgConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := pangolinstore.Open(pools, 0, pangolin.ScrubberConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+			corrupt: func(t *testing.T, st store.Store, dir string) {
+				// Poison the page under the structure's anchor: the next
+				// verified read through it faults with a typed error.
+				ps := st.(*pangolinstore.Store)
+				ps.Pool().InjectMediaError(ps.Map().Anchor().Off)
+			},
+		},
+		{
+			name:    "logstore",
+			injects: false,
+			create: func(t *testing.T, dir string) store.Store {
+				st, err := logstore.Create(logstore.ShardDir(dir, 0), logstore.Options{
+					Structure: "hashmap", Index: 0, Count: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+			open: func(t *testing.T, dir string) store.Store {
+				st, err := logstore.Open(logstore.ShardDir(dir, 0), logstore.Options{
+					Structure: "hashmap", Index: 0, Count: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+			corrupt: func(t *testing.T, st store.Store, dir string) {
+				// Flip one byte inside the first segment's first record.
+				seg := filepath.Join(logstore.ShardDir(dir, 0), "000000.seg")
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(data) < 8 {
+					t.Fatalf("segment too short to corrupt: %d bytes", len(data))
+				}
+				data[6] ^= 0xFF
+				if err := os.WriteFile(seg, data, 0o666); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+}
+
+func forEachBackend(t *testing.T, fn func(t *testing.T, h harness)) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) { fn(t, h) })
+	}
+}
+
+func mustApply(t *testing.T, st store.Store, ops ...store.Op) []store.Result {
+	t.Helper()
+	res, err := st.Apply(ops)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(res) != len(ops) {
+		t.Fatalf("Apply returned %d results for %d ops", len(res), len(ops))
+	}
+	return res
+}
+
+func mustGet(t *testing.T, st store.Store, k uint64) (uint64, bool) {
+	t.Helper()
+	v, ok, err := st.Get(k)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", k, err)
+	}
+	return v, ok
+}
+
+func TestContractBasicOps(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		if st.Backend() != h.name {
+			t.Fatalf("Backend() = %q, want %q", st.Backend(), h.name)
+		}
+		for k := uint64(0); k < 100; k++ {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k * 3})
+		}
+		for k := uint64(0); k < 100; k++ {
+			if v, ok := mustGet(t, st, k); !ok || v != k*3 {
+				t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, k*3)
+			}
+		}
+		if _, ok := mustGet(t, st, 1000); ok {
+			t.Fatal("Get of an absent key reported ok")
+		}
+		// Overwrite.
+		mustApply(t, st, store.Op{Kind: store.OpPut, K: 5, V: 999})
+		if v, _ := mustGet(t, st, 5); v != 999 {
+			t.Fatalf("overwrite lost: got %d", v)
+		}
+		// Delete reports presence, removes, and is idempotent.
+		res := mustApply(t, st, store.Op{Kind: store.OpDel, K: 5})
+		if !res[0].OK {
+			t.Fatal("Del of a present key reported absent")
+		}
+		if _, ok := mustGet(t, st, 5); ok {
+			t.Fatal("key survived delete")
+		}
+		res = mustApply(t, st, store.Op{Kind: store.OpDel, K: 5})
+		if res[0].OK {
+			t.Fatal("Del of an absent key reported present")
+		}
+		// Objects is a backend-defined live-object count: exact pairs for
+		// the log index, pairs plus structural objects (root, map header)
+		// for a pool — so the contract asserts a lower bound.
+		stats := st.Stats()
+		if stats.Backend != h.name || stats.Objects < 99 {
+			t.Fatalf("Stats = %+v, want backend %s with >= 99 objects", stats, h.name)
+		}
+	})
+}
+
+func TestContractBatchSemantics(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		mustApply(t, st, store.Op{Kind: store.OpPut, K: 1, V: 10})
+		// One batch mixing all kinds; gets observe the batch's earlier
+		// ops (read-your-writes within the batch).
+		res := mustApply(t, st,
+			store.Op{Kind: store.OpGet, K: 1},
+			store.Op{Kind: store.OpPut, K: 2, V: 20},
+			store.Op{Kind: store.OpGet, K: 2},
+			store.Op{Kind: store.OpDel, K: 1},
+			store.Op{Kind: store.OpGet, K: 1},
+			store.Op{Kind: store.OpDel, K: 7},
+		)
+		if !res[0].OK || res[0].V != 10 {
+			t.Fatalf("pre-existing get = %+v", res[0])
+		}
+		if !res[2].OK || res[2].V != 20 {
+			t.Fatalf("get of same-batch put = %+v", res[2])
+		}
+		if !res[3].OK {
+			t.Fatal("del of a present key reported absent")
+		}
+		if res[4].OK {
+			t.Fatal("get observed a key the same batch deleted")
+		}
+		if res[5].OK {
+			t.Fatal("del of an absent key reported present")
+		}
+		// An all-get batch mutates nothing.
+		mustApply(t, st, store.Op{Kind: store.OpGet, K: 2}, store.Op{Kind: store.OpGet, K: 3})
+		if v, ok := mustGet(t, st, 2); !ok || v != 20 {
+			t.Fatalf("state changed under an all-get batch: (%d,%v)", v, ok)
+		}
+	})
+}
+
+func TestContractScanComplete(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		for k := uint64(0); k < 200; k += 2 {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k + 1})
+		}
+		got := make(map[uint64]uint64)
+		last, ordered := uint64(0), true
+		err := st.Scan(10, 50, func(k, v uint64) bool {
+			if dup, seen := got[k]; seen {
+				t.Fatalf("scan yielded key %d twice (vals %d, %d)", k, dup, v)
+			}
+			if len(got) > 0 && k < last {
+				ordered = false
+			}
+			last = k
+			got[k] = v
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(10); k <= 50; k += 2 {
+			if got[k] != k+1 {
+				t.Fatalf("scan missed or mangled key %d: got %d", k, got[k])
+			}
+		}
+		if len(got) != 21 {
+			t.Fatalf("scan yielded %d pairs, want 21", len(got))
+		}
+		if st.Ordered() && !ordered {
+			t.Fatal("an Ordered() backend yielded out-of-order keys")
+		}
+		// Early stop is honored.
+		n := 0
+		if err := st.Scan(0, ^uint64(0), func(k, v uint64) bool { n++; return n < 5 }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("scan continued past a false return: %d pairs", n)
+		}
+	})
+}
+
+func TestContractReopen(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		dir := t.TempDir()
+		st := h.create(t, dir)
+		for k := uint64(0); k < 64; k++ {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: ^k})
+		}
+		mustApply(t, st, store.Op{Kind: store.OpDel, K: 7})
+		if err := st.Save(); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st = h.open(t, dir)
+		defer st.Close()
+		for k := uint64(0); k < 64; k++ {
+			v, ok := mustGet(t, st, k)
+			if k == 7 {
+				if ok {
+					t.Fatal("deleted key resurrected by reopen")
+				}
+				continue
+			}
+			if !ok || v != ^k {
+				t.Fatalf("reopen lost key %d: (%d,%v)", k, v, ok)
+			}
+		}
+		if st.Stats().Objects < 63 {
+			t.Fatalf("reopened object count = %d, want >= 63", st.Stats().Objects)
+		}
+	})
+}
+
+func TestContractCrashReopen(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		for seed := int64(1); seed <= 5; seed++ {
+			dir := t.TempDir()
+			st := h.create(t, dir)
+			for k := uint64(0); k < 128; k++ {
+				mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k ^ 0xABCD})
+			}
+			if err := st.Save(); err != nil {
+				t.Fatal(err)
+			}
+			// Unsaved tail: may or may not survive the crash, but must
+			// never corrupt the saved prefix.
+			for k := uint64(128); k < 192; k++ {
+				mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k})
+			}
+			if err := st.CrashSave(seed); err != nil {
+				t.Fatal(err)
+			}
+			st.Close()
+			st = h.open(t, dir)
+			for k := uint64(0); k < 128; k++ {
+				if v, ok := mustGet(t, st, k); !ok || v != k^0xABCD {
+					t.Fatalf("seed %d: crash lost saved key %d: (%d,%v)", seed, k, v, ok)
+				}
+			}
+			// Tail keys must be all-or-nothing per batch: present with the
+			// right value or absent, never mangled.
+			for k := uint64(128); k < 192; k++ {
+				if v, ok := mustGet(t, st, k); ok && v != k {
+					t.Fatalf("seed %d: torn tail key %d = %d", seed, k, v)
+				}
+			}
+			// The recovered store accepts writes.
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: 9999, V: 1})
+			if v, ok := mustGet(t, st, 9999); !ok || v != 1 {
+				t.Fatalf("seed %d: post-recovery write lost", seed)
+			}
+			st.Close()
+		}
+	})
+}
+
+func TestContractTypedCorruption(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		dir := t.TempDir()
+		st := h.create(t, dir)
+		defer st.Close()
+		// Few keys: the pool backend's early allocations share pages with
+		// the structure's anchor, so poisoning the anchor's page is
+		// guaranteed to sit under live data.
+		for k := uint64(0); k < 8; k++ {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k})
+		}
+		// Attach the view BEFORE corrupting, mirroring the worker (one
+		// long-lived view from startup): the owner's read path repairs
+		// corruption online (the pangolin backend does, even during view
+		// construction), but an already-attached read-only view must
+		// surface it TYPED — that's what routes faulting fast-path reads
+		// to the worker's repairing path.
+		view, err := st.(store.ReadViewer).ReadView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.corrupt(t, st, dir)
+		var sawTyped bool
+		for k := uint64(0); k < 8; k++ {
+			_, _, err := view.Get(k)
+			if err == nil {
+				continue
+			}
+			if !pangolin.IsCorruption(err) && !pangolin.IsPoison(err) {
+				t.Fatalf("corruption surfaced untyped: %v", err)
+			}
+			sawTyped = true
+		}
+		if !sawTyped {
+			t.Fatal("no read surfaced the injected corruption")
+		}
+	})
+}
+
+func TestContractCapabilities(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		if _, ok := st.(store.ReadViewer); !ok {
+			t.Fatal("backend lacks ReadViewer (both in-repo backends provide it)")
+		}
+		if _, ok := st.(store.ScrubRunner); !ok {
+			t.Fatal("backend lacks ScrubRunner (both in-repo backends provide it)")
+		}
+		if _, ok := st.(store.FaultInjector); ok != h.injects {
+			t.Fatalf("FaultInjector presence = %v, want %v", ok, h.injects)
+		}
+	})
+}
+
+func TestContractReadViewMatchesOwner(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		for k := uint64(0); k < 50; k++ {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k * 7})
+		}
+		view, err := st.(store.ReadViewer).ReadView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 50; k++ {
+			v, ok, err := view.Get(k)
+			if err != nil || !ok || v != k*7 {
+				t.Fatalf("view.Get(%d) = (%d,%v,%v)", k, v, ok, err)
+			}
+		}
+		n := 0
+		if err := view.Scan(0, ^uint64(0), func(k, v uint64) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 50 {
+			t.Fatalf("view scan saw %d pairs, want 50", n)
+		}
+	})
+}
+
+func TestContractScrubPassCleanStore(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		for k := uint64(0); k < 200; k++ {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k})
+		}
+		sc := st.(store.ScrubRunner).NewScrubPass()
+		total := pangolin.ScrubReport{ChecksumsVerified: true}
+		for i := 0; ; i++ {
+			rep, done, err := sc.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total.Add(rep)
+			if done {
+				break
+			}
+			if i > 10000 {
+				t.Fatal("scrub pass never completed")
+			}
+		}
+		if total.BadObjects != 0 || total.Unrecovered != 0 {
+			t.Fatalf("clean store scrubbed dirty: %+v", total)
+		}
+		if total.Objects == 0 {
+			t.Fatal("scrub pass visited no objects")
+		}
+	})
+}
+
+func TestParseBackendSpec(t *testing.T) {
+	cases := []struct {
+		spec   string
+		shards int
+		want   []string
+		err    bool
+	}{
+		{"", 3, []string{"pangolin", "pangolin", "pangolin"}, false},
+		{"pangolin", 2, []string{"pangolin", "pangolin"}, false},
+		{"logstore", 2, []string{"logstore", "logstore"}, false},
+		{"pangolin,logstore", 4, []string{"pangolin", "logstore", "pangolin", "logstore"}, false},
+		{" logstore , pangolin ", 3, []string{"logstore", "pangolin", "logstore"}, false},
+		{"bitcask", 1, nil, true},
+		{"pangolin,,logstore", 2, nil, true},
+	}
+	for _, c := range cases {
+		got, err := store.ParseBackendSpec(c.spec, c.shards)
+		if c.err {
+			if err == nil {
+				t.Fatalf("ParseBackendSpec(%q) succeeded, want error", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseBackendSpec(%q): %v", c.spec, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("ParseBackendSpec(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+// TestContractApplyRejectsUnknownKind: a malformed batch must fail whole
+// — no partial application.
+func TestContractApplyRejectsUnknownKind(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		_, err := st.Apply([]store.Op{
+			{Kind: store.OpPut, K: 1, V: 1},
+			{Kind: 99, K: 2, V: 2},
+		})
+		if err == nil {
+			t.Fatal("Apply accepted an unknown op kind")
+		}
+		if _, ok := mustGet(t, st, 1); ok {
+			t.Fatal("a rejected batch partially applied")
+		}
+	})
+}

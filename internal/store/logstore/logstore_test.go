@@ -1,0 +1,151 @@
+package logstore
+
+import (
+	"os"
+	"testing"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/internal/store"
+)
+
+func testOpts() Options {
+	return Options{Structure: "hashmap", Index: 0, Count: 1, SegmentBytes: 4 << 10}
+}
+
+func fill(t *testing.T, s *Store, lo, hi uint64) {
+	t.Helper()
+	for k := lo; k < hi; k++ {
+		if _, err := s.Apply([]store.Op{{Kind: store.OpPut, K: k, V: k * 7}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkAll(t *testing.T, s *Store, lo, hi uint64) {
+	t.Helper()
+	for k := lo; k < hi; k++ {
+		v, ok, err := s.Get(k)
+		if err != nil || !ok || v != k*7 {
+			t.Fatalf("key %d = (%d,%v,%v), want %d", k, v, ok, err, k*7)
+		}
+	}
+}
+
+// TestRotationSealsWithHints writes past the segment threshold and
+// checks the invariant behind fast reopen: every sealed segment carries
+// a hint file, the active tail does not.
+func TestRotationSealsWithHints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fill(t, s, 0, 400) // 400 puts ≈ 23KB of records: several rotations
+	if len(s.segs) < 3 {
+		t.Fatalf("only %d segments after 400 puts with 4KiB threshold", len(s.segs))
+	}
+	for _, sg := range s.segs[:len(s.segs)-1] {
+		if _, err := os.Stat(hintPath(dir, sg.id)); err != nil {
+			t.Errorf("sealed segment %d has no hint: %v", sg.id, err)
+		}
+	}
+	if _, err := os.Stat(hintPath(dir, s.active().id)); !os.IsNotExist(err) {
+		t.Errorf("active segment %d has a hint file (stat err %v)", s.active().id, err)
+	}
+	checkAll(t, s, 0, 400)
+}
+
+// TestHintFallback damages sealed segments' hint files — truncated,
+// byte-flipped, and deleted — and reopens: recovery must detect each
+// bad hint (whole-file CRC) and fall back to the strict segment scan,
+// landing on exactly the same index.
+func TestHintFallback(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, 0, 400)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := make([]int, 0, len(s.segs)-1)
+	for _, sg := range s.segs[:len(s.segs)-1] {
+		sealed = append(sealed, sg.id)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) < 3 {
+		t.Fatalf("need >=3 sealed segments, have %d", len(sealed))
+	}
+	// Three flavors of damage across three different sealed segments.
+	if err := os.Remove(hintPath(dir, sealed[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(hintPath(dir, sealed[1]), 20); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(hintPath(dir, sealed[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[41] ^= 0xff // first entry's kind byte; whole-file CRC must catch it
+	if err := os.WriteFile(hintPath(dir, sealed[2]), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	checkAll(t, s2, 0, 400)
+	if got := s2.Stats().Objects; got != 400 {
+		t.Fatalf("reopened with %d objects, want 400", got)
+	}
+}
+
+// TestMergeRefusesCorruptRecord pins the no-redundancy rule: when
+// compaction meets a record that fails its CRC it must abort with a
+// typed corruption error and leave the segment in place — deleting it
+// would convert detected corruption into silent loss.
+func TestMergeRefusesCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fill(t, s, 0, 400)
+	fill(t, s, 0, 400) // overwrite everything: oldest segment is all dead
+	if !s.mergeDue() {
+		t.Fatal("merge not due after full overwrite")
+	}
+	oldest := s.segs[0]
+	// Flip a byte in the oldest segment's first record body.
+	f, err := os.OpenFile(segPath(dir, oldest.id), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 6); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, err = s.ScrubStep()
+	if err == nil {
+		t.Fatal("merge step over a corrupt record succeeded")
+	}
+	if !pangolin.IsCorruption(err) {
+		t.Fatalf("merge error is untyped: %v", err)
+	}
+	if _, statErr := os.Stat(segPath(dir, oldest.id)); statErr != nil {
+		t.Fatalf("merge deleted the corrupt segment: %v", statErr)
+	}
+	if s.compactions != 0 {
+		t.Fatalf("compactions = %d after aborted merge", s.compactions)
+	}
+	checkAll(t, s, 0, 400) // live data (all in newer segments) unharmed
+}

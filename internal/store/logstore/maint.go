@@ -1,0 +1,239 @@
+package logstore
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/internal/store"
+)
+
+// mergeJob is an in-progress compaction of the oldest sealed segment:
+// a bounded scan cursor copying still-live records to the tail.
+type mergeJob struct {
+	segID int
+	off   int64
+}
+
+// verifyCursor is the background CRC sweep's position.
+type verifyCursor struct {
+	segID int
+	off   int64
+}
+
+// recordsPerStep bounds one ScrubStep's work, reusing the pangolin
+// scrubber's per-step object budget.
+func (s *Store) recordsPerStep() int {
+	if s.scrub.MaxObjectsPerStep <= 0 {
+		return 64
+	}
+	return s.scrub.MaxObjectsPerStep
+}
+
+// ScrubStep implements store.Store: the maintenance scheduler's tick
+// unit. When compaction is due (or already underway) the step advances
+// the merge; otherwise it advances a CRC-verify cursor over the
+// segments, the log engine's detect-only analog of the pangolin
+// scrubber. done reports a completed verify wrap (merge steps are
+// housekeeping, never "a pass").
+func (s *Store) ScrubStep() (pangolin.ScrubReport, bool, error) {
+	if s.merge != nil || s.mergeDue() {
+		rep, err := s.mergeStep()
+		return rep, false, err
+	}
+	return s.verifyStep()
+}
+
+// mergeDue reports whether the oldest sealed segment has enough dead
+// weight (half its records, or no live ones at all) to be worth
+// rewriting. Suspended while a crash image is pending: compaction
+// deletes files the image still needs.
+func (s *Store) mergeDue() bool {
+	if s.crashPending || len(s.segs) < 2 {
+		return false
+	}
+	oldest := s.segs[0]
+	return oldest.live == 0 || oldest.live*2 <= oldest.records
+}
+
+// mergeStep advances compaction by up to recordsPerStep records: each
+// still-live put (the index points at that exact record) is re-appended
+// at the tail as a fresh committed batch, which atomically moves the
+// index entry; dead records and tombstones are simply passed over — the
+// oldest segment has nothing before it that a tombstone could
+// resurrect. When the scan completes the segment and its hint are
+// deleted. A CRC mismatch aborts the job with a typed corruption error:
+// with no redundancy there is nothing to rebuild the record from, and
+// deleting the segment would turn detected corruption into silent loss.
+func (s *Store) mergeStep() (pangolin.ScrubReport, error) {
+	var rep pangolin.ScrubReport
+	if s.merge == nil {
+		s.merge = &mergeJob{segID: s.segs[0].id}
+	}
+	job := s.merge
+	seg := s.segByID(job.segID)
+	if seg == nil || seg == s.active() {
+		// The world changed under the job (the segment went away, or
+		// everything before the tail merged); drop it.
+		s.merge = nil
+		return rep, nil
+	}
+	var liveOps []store.Op
+	for job.off < seg.size && rep.Objects < s.recordsPerStep() {
+		var rec [recSize]byte
+		if _, err := seg.f.ReadAt(rec[:], job.off); err != nil {
+			s.merge = nil
+			return rep, fmt.Errorf("logstore: merge segment %d: %w", seg.id, err)
+		}
+		kind, _, key, _, ok := decodeRecord(rec[:])
+		if !ok {
+			rep.BadObjects++
+			rep.Unrecovered++
+			s.merge = nil
+			return rep, &pangolin.CorruptionError{
+				OID:    pangolin.OID{Pool: uint64(seg.id), Off: uint64(job.off)},
+				Reason: "logstore: merge found a corrupt record",
+			}
+		}
+		if kind == recPut {
+			if e, live := s.idx[key]; live && e.seg == seg.id && e.off == job.off {
+				liveOps = append(liveOps, store.Op{Kind: store.OpPut, K: key, V: e.val})
+			}
+			rep.Objects++
+		} else if kind == recDel {
+			rep.Objects++
+		}
+		job.off += recSize
+	}
+	if len(liveOps) > 0 {
+		if _, err := s.Apply(liveOps); err != nil {
+			s.merge = nil
+			return rep, fmt.Errorf("logstore: merge copy-forward: %w", err)
+		}
+		s.mergedRecords += uint64(len(liveOps))
+	}
+	if job.off < seg.size {
+		return rep, nil // more records next step
+	}
+	// Scan complete; every live record has been copied forward, so the
+	// segment is pure dead weight.
+	s.merge = nil
+	seg.f.Close()
+	if err := os.Remove(segPath(s.dir, seg.id)); err != nil {
+		return rep, fmt.Errorf("logstore: drop merged segment %d: %w", seg.id, err)
+	}
+	os.Remove(hintPath(s.dir, seg.id)) // best-effort
+	for i, sg := range s.segs {
+		if sg == seg {
+			s.segs = append(s.segs[:i], s.segs[i+1:]...)
+			break
+		}
+	}
+	s.compactions++
+	return rep, syncDir(s.dir)
+}
+
+// verifyStep CRC-checks up to recordsPerStep records from the sweep
+// cursor. Mismatches are counted (BadObjects/Unrecovered — detect-only,
+// nothing to repair from) rather than erroring, matching the pangolin
+// scrubber's "count and keep sweeping" behavior; done reports a full
+// wrap over every segment, after which the cursor starts over.
+func (s *Store) verifyStep() (pangolin.ScrubReport, bool, error) {
+	rep := pangolin.ScrubReport{ChecksumsVerified: true}
+	// Find the cursor's segment, or the next surviving one (merges
+	// delete segments out from under the sweep).
+	pos := len(s.segs) - 1
+	for i, sg := range s.segs {
+		if sg.id >= s.cursor.segID {
+			pos = i
+			break
+		}
+	}
+	if s.segs[pos].id != s.cursor.segID {
+		s.cursor = verifyCursor{segID: s.segs[pos].id}
+	}
+	for rep.Objects < s.recordsPerStep() {
+		seg := s.segs[pos]
+		if s.cursor.off+recSize > seg.size {
+			if pos == len(s.segs)-1 {
+				// Wrapped: the whole log verified since the last reset.
+				s.cursor = verifyCursor{segID: s.segs[0].id}
+				return rep, true, nil
+			}
+			pos++
+			s.cursor = verifyCursor{segID: s.segs[pos].id}
+			continue
+		}
+		var rec [recSize]byte
+		if _, err := seg.f.ReadAt(rec[:], s.cursor.off); err != nil {
+			return rep, false, fmt.Errorf("logstore: verify segment %d: %w", seg.id, err)
+		}
+		kind, _, _, _, ok := decodeRecord(rec[:])
+		if !ok {
+			rep.BadObjects++
+			rep.Unrecovered++
+			rep.Objects++
+		} else if kind != recCommit {
+			rep.Objects++
+		}
+		s.cursor.off += recSize
+	}
+	return rep, false, nil
+}
+
+// scrubPass is one full CRC sweep (store.ScrubPass): the segment list
+// is planned at pass start and swept with an independent cursor, so
+// client batches and even merges can interleave between steps (a
+// segment deleted mid-pass is skipped; records appended after the plan
+// are the next pass's work).
+type scrubPass struct {
+	s     *Store
+	ids   []int
+	sizes map[int]int64
+	pos   int
+	off   int64
+}
+
+// NewScrubPass implements store.ScrubRunner.
+func (s *Store) NewScrubPass() store.ScrubPass {
+	p := &scrubPass{s: s, sizes: make(map[int]int64)}
+	for _, sg := range s.segs {
+		p.ids = append(p.ids, sg.id)
+		p.sizes[sg.id] = sg.size
+	}
+	return p
+}
+
+// ChecksumsVerified implements store.ScrubRunner: every record is
+// CRC-framed, so a completed pass really did verify the whole log.
+func (s *Store) ChecksumsVerified() bool { return true }
+
+func (p *scrubPass) Step() (pangolin.ScrubReport, bool, error) {
+	rep := pangolin.ScrubReport{ChecksumsVerified: true}
+	for rep.Objects < p.s.recordsPerStep() {
+		if p.pos >= len(p.ids) {
+			return rep, true, nil
+		}
+		seg := p.s.segByID(p.ids[p.pos])
+		size := p.sizes[p.ids[p.pos]]
+		if seg == nil || p.off+recSize > min(size, seg.size) {
+			p.pos++
+			p.off = 0
+			continue
+		}
+		var rec [recSize]byte
+		if _, err := seg.f.ReadAt(rec[:], p.off); err != nil {
+			return rep, false, fmt.Errorf("logstore: scrub segment %d: %w", seg.id, err)
+		}
+		kind, _, _, _, ok := decodeRecord(rec[:])
+		if !ok {
+			rep.BadObjects++
+			rep.Unrecovered++
+			rep.Objects++
+		} else if kind != recCommit {
+			rep.Objects++
+		}
+		p.off += recSize
+	}
+	return rep, false, nil
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // PoolSet manages a family of sibling pools ("shards") that persist as one
@@ -20,6 +21,14 @@ import (
 // Shard files are named shard-0000.pgl, shard-0001.pgl, … so a set's
 // directory is self-describing: OpenPoolSet discovers the shard count from
 // the files present.
+//
+// A set may be SPARSE: in a mixed-backend service (internal/store) only
+// some shard indices are Pangolin pools — the rest belong to other
+// engines that keep their own files in the same directory — so
+// NewPoolSetShards/OpenPoolSetShards populate just those indices and
+// leave nil holes. Len still reports the full set size; Shards lists the
+// populated indices; the per-index operations must only be called on
+// populated slots.
 type PoolSet struct {
 	dir   string
 	pools []*Pool
@@ -47,16 +56,50 @@ func NewPoolSet(dir string, n int, cfg Config) (*PoolSet, error) {
 	} else if len(existing) > 0 {
 		return nil, fmt.Errorf("pangolin: pool set already exists in %s (%d shard files)", dir, len(existing))
 	}
-	s := &PoolSet{dir: dir, pools: make([]*Pool, 0, n)}
-	for i := 0; i < n; i++ {
+	return NewPoolSetShards(dir, n, allIndices(n), cfg)
+}
+
+// NewPoolSetShards is NewPoolSet for a sparse set: it creates fresh
+// pools only at the given indices of an n-shard set, leaving the other
+// slots nil for a different engine's shards. Not durable until Save; it
+// refuses to overwrite existing shard files at the requested indices.
+func NewPoolSetShards(dir string, n int, indices []int, cfg Config) (*PoolSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pangolin: pool set needs at least 1 shard, got %d", n)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	s := &PoolSet{dir: dir, pools: make([]*Pool, n)}
+	for _, i := range indices {
+		if i < 0 || i >= n {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: shard index %d out of range [0,%d)", i, n)
+		}
+		if s.pools[i] != nil {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: duplicate shard index %d", i)
+		}
+		if _, err := os.Stat(ShardFile(dir, i)); err == nil {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: shard file %s already exists", ShardFile(dir, i))
+		}
 		p, err := Create(cfg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("pangolin: create shard %d: %w", i, err)
 		}
-		s.pools = append(s.pools, p)
+		s.pools[i] = p
 	}
 	return s, nil
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }
 
 // CreatePoolSet is NewPoolSet followed by Save: the returned set is
@@ -84,19 +127,36 @@ func OpenPoolSet(dir string, cfg Config) (*PoolSet, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("pangolin: no shard files in %s", dir)
 	}
-	s := &PoolSet{dir: dir}
 	for i := range files {
-		want := ShardFile(dir, i)
-		if files[i] != want {
-			s.Close()
+		if want := ShardFile(dir, i); files[i] != want {
 			return nil, fmt.Errorf("pangolin: shard files not contiguous: have %s, want %s", files[i], want)
 		}
-		p, err := LoadFile(want, cfg)
+	}
+	return OpenPoolSetShards(dir, len(files), allIndices(len(files)), cfg)
+}
+
+// OpenPoolSetShards is OpenPoolSet for a sparse set: it opens the shard
+// files at the given indices of an n-shard set (running crash recovery
+// on each) and leaves the other slots nil. The caller supplies the set
+// size and membership — in a mixed-backend directory the other indices
+// belong to other engines, so there is no file count to discover it
+// from.
+func OpenPoolSetShards(dir string, n int, indices []int, cfg Config) (*PoolSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pangolin: pool set needs at least 1 shard, got %d", n)
+	}
+	s := &PoolSet{dir: dir, pools: make([]*Pool, n)}
+	for _, i := range indices {
+		if i < 0 || i >= n {
+			s.Close()
+			return nil, fmt.Errorf("pangolin: shard index %d out of range [0,%d)", i, n)
+		}
+		p, err := LoadFile(ShardFile(dir, i), cfg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("pangolin: open shard %d: %w", i, err)
 		}
-		s.pools = append(s.pools, p)
+		s.pools[i] = p
 	}
 	return s, nil
 }
@@ -110,10 +170,23 @@ func shardFiles(dir string) ([]string, error) {
 	return files, nil
 }
 
-// Len returns the number of shards.
+// Len returns the number of shards in the set, populated or not.
 func (s *PoolSet) Len() int { return len(s.pools) }
 
-// Pool returns shard i's pool.
+// Shards returns the populated shard indices in ascending order (all of
+// [0,Len) for a dense set).
+func (s *PoolSet) Shards() []int {
+	idx := make([]int, 0, len(s.pools))
+	for i, p := range s.pools {
+		if p != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Pool returns shard i's pool (nil for an unpopulated index of a sparse
+// set).
 func (s *PoolSet) Pool(i int) *Pool { return s.pools[i] }
 
 // Dir returns the set's directory.
@@ -126,12 +199,40 @@ func (s *PoolSet) SaveShard(i int) error {
 	return s.pools[i].SaveFile(ShardFile(s.dir, i))
 }
 
-// Save persists every shard. No transactions may be in flight on any
-// shard.
+// Save persists every populated shard. No transactions may be in flight
+// on any shard. Shards save concurrently — each snapshot write touches
+// only its own shard's device and file — and the first error (by shard
+// index) wins; later shards still run to completion, so a failure never
+// leaves saves silently unattempted.
 func (s *PoolSet) Save() error {
-	for i := range s.pools {
+	return s.eachShard(func(i int) error {
 		if err := s.SaveShard(i); err != nil {
 			return fmt.Errorf("pangolin: save shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// eachShard runs fn(i) for every populated shard concurrently and
+// returns the lowest-indexed shard's error, keeping the verdict
+// deterministic where "first error wins" on racing goroutines is not.
+func (s *PoolSet) eachShard(fn func(i int) error) error {
+	errs := make([]error, len(s.pools))
+	var wg sync.WaitGroup
+	for i, p := range s.pools {
+		if p == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -146,24 +247,30 @@ func (s *PoolSet) CrashSaveShard(i int, mode CrashMode, seed int64) error {
 	return img.SaveFile(ShardFile(s.dir, i))
 }
 
-// CrashSave simulates a whole-machine power failure: every shard file is
-// replaced by a crash image of its device. Distinct seeds per shard keep
-// the eviction outcomes independent.
+// CrashSave simulates a whole-machine power failure: every populated
+// shard file is replaced by a crash image of its device, the images
+// written concurrently (first error by shard index wins). Each shard's
+// image derives from seed+index regardless of scheduling, so a given
+// seed reproduces the same crash state as the old sequential loop.
 func (s *PoolSet) CrashSave(mode CrashMode, seed int64) error {
-	for i := range s.pools {
+	return s.eachShard(func(i int) error {
 		if err := s.CrashSaveShard(i, mode, seed+int64(i)); err != nil {
 			return fmt.Errorf("pangolin: crash-save shard %d: %w", i, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// Scrub runs a scrubbing pass over every shard, returning one report per
-// shard. No transactions may be in flight. Each shard's pass runs as a
-// sequence of bounded incremental steps (see Pool.Scrub).
+// Scrub runs a scrubbing pass over every populated shard, returning one
+// report per shard (zero reports for unpopulated indices). No
+// transactions may be in flight. Each shard's pass runs as a sequence
+// of bounded incremental steps (see Pool.Scrub).
 func (s *PoolSet) Scrub() ([]ScrubReport, error) {
 	reports := make([]ScrubReport, len(s.pools))
 	for i, p := range s.pools {
+		if p == nil {
+			continue
+		}
 		rep, err := p.Scrub()
 		if err != nil {
 			return reports, fmt.Errorf("pangolin: scrub shard %d: %w", i, err)

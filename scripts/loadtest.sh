@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # loadtest.sh — the serve → load → crash → check acceptance loop.
 #
-# Boots pglserve with $SHARDS shards and drives it through nine phases
+# Boots pglserve with $SHARDS shards and drives it through ten phases
 # (restarting the server — same data directory, clean sync + reopen —
 # where a server-side switch changes):
 #
@@ -51,7 +51,17 @@
 #                         counters. pipeline_speedup (deep vs depth-1
 #                         ops/sec) lands in compare.json as a recorded
 #                         trajectory, not a gate (single-core CI)
-#   8. crash mid-batch:   a background batch load is still running when the
+#   8. backend A/B:       the same write-heavy mix against two FRESH data
+#                         directories — one all-pangolin, one all-logstore
+#                         (small segments + the scrubber tick driving
+#                         compaction) — each run asserting via pglload
+#                         -backend that it measured the engine it meant
+#                         to. backend_speedup (pangolin vs logstore
+#                         ops/sec) and the log engine's segment/compaction
+#                         counters land in compare.json as a recorded
+#                         trajectory, not a gate; both runs must be
+#                         error-free
+#   9. crash mid-batch:   a background batch load is still running when the
 #                         CRASH frame lands — with the scrubber still
 #                         interleaving steps — so shards die with batch
 #                         transactions in flight; every shard snapshot must
@@ -93,11 +103,12 @@ echo "# loadtest: $SHARDS shards, $CLIENTS clients, $OPS ops, batch $BATCH, read
 
 SERVE_PID=""
 ADDR=""
+SERVE_DIR="$WORKDIR/kvset"
 
-start_server() { # start_server <logname> [extra pglserve flags...]
+start_server() { # start_server <logname> [extra pglserve flags...]; data dir from $SERVE_DIR
     local name=$1; shift
     : >"$WORKDIR/$name.json"
-    ./bin/pglserve -dir "$WORKDIR/kvset" -shards "$SHARDS" -addr 127.0.0.1:0 "$@" \
+    ./bin/pglserve -dir "$SERVE_DIR" -shards "$SHARDS" -addr 127.0.0.1:0 "$@" \
         >"$WORKDIR/$name.json" 2>"$WORKDIR/$name.log" &
     SERVE_PID=$!
     for _ in $(seq 100); do
@@ -175,7 +186,27 @@ start_server serve-pipe-deep
 ./bin/pglload -addr "$ADDR" -clients "$PIPE_CLIENTS" -ops "$OPS" -seed 8 -pipeline "$PIPE_DEPTH" \
     | tee "$WORKDIR/load-pipe-deep.json"
 
-echo "# phase 8: crash while a batch load is in flight (scrubber still on)" >&2
+echo "# phase 8: backend A/B (write-heavy, pangolin vs logstore, fresh dirs)" >&2
+# Fresh directories so neither engine inherits the other's working set;
+# a small key space makes the mix overwrite-heavy, which is what gives
+# the log engine dead records to compact (scrubber ticks double as the
+# logstore's compaction driver). pglload -backend makes each run fail
+# loudly if it measured the wrong engine.
+stop_server
+SERVE_DIR="$WORKDIR/kvset-ab-pangolin"
+start_server serve-ab-pangolin -scrub-interval "$SCRUB_INTERVAL"
+./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops "$OPS" -seed 11 -keys 4096 \
+    -reads 0.2 -dels 0.1 -backend pangolin \
+    | tee "$WORKDIR/load-ab-pangolin.json"
+stop_server
+SERVE_DIR="$WORKDIR/kvset-ab-logstore"
+start_server serve-ab-logstore -backend logstore -log-segment-bytes 65536 -scrub-interval "$SCRUB_INTERVAL"
+./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops "$OPS" -seed 11 -keys 4096 \
+    -reads 0.2 -dels 0.1 -backend logstore \
+    | tee "$WORKDIR/load-ab-logstore.json"
+SERVE_DIR="$WORKDIR/kvset"
+
+echo "# phase 9: crash while a batch load is in flight (scrubber still on)" >&2
 stop_server
 start_server serve-crash -scrub-interval "$SCRUB_INTERVAL"
 # The background load runs until the server dies under it; its client
@@ -206,7 +237,7 @@ done
 # Every measured phase must be error-free (scan errors include pglload's
 # client-side order/bounds verification of every SCAN response; scrub
 # errors would be corruption a client op observed).
-for phase in perop batch read-serial read-fast scan scrub pipe1 pipe-deep; do
+for phase in perop batch read-serial read-fast scan scrub pipe1 pipe-deep ab-pangolin ab-logstore; do
     errors=$(sed -n 's/.*"errors": \([0-9]*\),.*/\1/p' "$WORKDIR/load-$phase.json" | head -n 1)
     if [ "${errors:-1}" != "0" ]; then
         echo "loadtest: FAILED with $errors client errors in $phase phase" >&2
@@ -259,8 +290,10 @@ if ! awk -v a="${GBM1:-0}" -v b="${GBMDEEP:-0}" 'BEGIN { exit !(b > a) }'; then
     status=1
 fi
 
-# Record the per-op vs batch, serial vs fast read, scan, scrub, and
-# pipeline trajectories.
+# Record the per-op vs batch, serial vs fast read, scan, scrub,
+# pipeline, and backend A/B trajectories (backend_speedup is pangolin
+# over logstore ops/sec on the identical write-heavy mix — recorded,
+# not gated, like the other single-core-container ratios).
 PEROP=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-perop.json" | head -n 1)
 BATCHOPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-batch.json" | head -n 1)
 READSERIAL=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-read-serial.json" | head -n 1)
@@ -274,24 +307,33 @@ SCANP99=$(sed -n 's/.*"p99": \([0-9.]*\),.*/\1/p' "$WORKDIR/load-scan.json" | he
 SCRUBP99=$(sed -n 's/.*"p99": \([0-9.]*\),.*/\1/p' "$WORKDIR/load-scrub.json" | head -n 1)
 PIPE1OPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-pipe1.json" | head -n 1)
 PIPEDEEPOPS=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-pipe-deep.json" | head -n 1)
+ABPANGOLIN=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-ab-pangolin.json" | head -n 1)
+ABLOGSTORE=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
+LOGSEGS=$(sed -n 's/.*"segments": \([0-9]*\),.*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
+LOGCOMPACTIONS=$(sed -n 's/.*"compactions": \([0-9]*\),.*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
 awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEEDUP" \
     -v rs="${READSERIAL:-0}" -v rf="${READFAST:-0}" -v rfrac="$READ_FRAC" -v rmin="$MIN_READ_SPEEDUP" \
     -v fg="${FAST_GETS:-0}" -v so="${SCANOPS:-0}" -v sp="${SCANPAIRS:-0}" -v fs="${FAST_SCANS:-0}" \
     -v br="${BG_REPAIRS:-0}" -v ss="${SCRUB_STEPS:-0}" -v sb="${SCRUB_BACKOFFS:-0}" \
     -v fi="${FAULTS_INJECTED:-0}" -v sp99="${SCANP99:-0}" -v scp99="${SCRUBP99:-0}" \
     -v p1="${PIPE1OPS:-0}" -v pd="${PIPEDEEPOPS:-0}" -v pdepth="$PIPE_DEPTH" \
-    -v g1="${GBM1:-0}" -v gd="${GBMDEEP:-0}" 'BEGIN {
+    -v g1="${GBM1:-0}" -v gd="${GBMDEEP:-0}" \
+    -v abp="${ABPANGOLIN:-0}" -v abl="${ABLOGSTORE:-0}" \
+    -v lsegs="${LOGSEGS:-0}" -v lcomp="${LOGCOMPACTIONS:-0}" 'BEGIN {
     s = (p > 0) ? b / p : 0
     r = (rs > 0) ? rf / rs : 0
     p99r = (sp99 > 0) ? scp99 / sp99 : 0
     ps = (p1 > 0) ? pd / p1 : 0
+    bs = (abl > 0) ? abp / abl : 0
     printf "{\n"
     printf "  \"per_op_ops_per_sec\": %.1f,\n  \"batch_ops_per_sec\": %.1f,\n  \"batch\": %d,\n  \"speedup\": %.2f,\n  \"min_speedup\": %.2f,\n", p, b, batch, s, min
     printf "  \"read_serial_ops_per_sec\": %.1f,\n  \"read_fast_ops_per_sec\": %.1f,\n  \"read_fraction\": %s,\n  \"fast_gets\": %d,\n  \"read_speedup\": %.2f,\n  \"min_read_speedup\": %.2f,\n", rs, rf, rfrac, fg, r, rmin
     printf "  \"scan_ops_per_sec\": %.1f,\n  \"scan_pairs\": %d,\n  \"fast_scans\": %d,\n", so, sp, fs
     printf "  \"faults_injected\": %d,\n  \"bg_repairs\": %d,\n  \"scrub_steps\": %d,\n  \"scrub_backoffs\": %d,\n  \"scrub_p99_ratio\": %.2f,\n", fi, br, ss, sb, p99r
     printf "  \"pipe1_ops_per_sec\": %.1f,\n  \"pipe_deep_ops_per_sec\": %.1f,\n  \"pipe_depth\": %d,\n  \"pipeline_speedup\": %.2f,\n", p1, pd, pdepth, ps
-    printf "  \"group_batch_mean_depth1\": %.2f,\n  \"group_batch_mean_deep\": %.2f\n", g1, gd
+    printf "  \"group_batch_mean_depth1\": %.2f,\n  \"group_batch_mean_deep\": %.2f,\n", g1, gd
+    printf "  \"backend_pangolin_ops_per_sec\": %.1f,\n  \"backend_logstore_ops_per_sec\": %.1f,\n  \"backend_speedup\": %.2f,\n", abp, abl, bs
+    printf "  \"logstore_segments\": %d,\n  \"logstore_compactions\": %d\n", lsegs, lcomp
     printf "}\n"
     exit !(s >= min && r >= rmin)
 }' | tee "$WORKDIR/compare.json" || {

@@ -150,6 +150,25 @@
 // read path, so the scrubber only ever shortens time-to-repair for data
 // no client has touched.
 //
+// # Storage backends
+//
+// Each shard's engine is selected at creation (pglserve -backend):
+// "pangolin" (the paper's engine) or "logstore" (the append-only,
+// bitcask-style baseline), or a comma list cycled across shards so one
+// server mixes both. Reopening a directory rediscovers every shard's
+// backend from its on-disk form; no flag is consulted. The wire
+// protocol is backend-agnostic — the same verbs run against either —
+// but capability edges show through honestly: INJECT returns 0 from
+// log shards (no fault-injection layer beneath them), and a log
+// shard's scrub step is a CRC verify sweep or a compaction merge
+// rather than a parity repair. STATS carries the per-shard "backend"
+// name, the set-level "backends" list, and the log engine's counters
+// (segments, compactions, merged_records, dead_records), so an
+// operator — or the loadtest's A/B phase, via pglload -backend — can
+// prove which engine served a run.
+//
+// # Background scrub wire verb
+//
 // SCRUB (op 11) is the wire verb: mode 0 reads the health block; mode 1
 // triggers a full pass on every shard and waits for it. Even the
 // triggered pass is incremental — each shard's worker steps a fresh
