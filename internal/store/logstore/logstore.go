@@ -165,12 +165,14 @@ type Store struct {
 
 	synced       int64 // active segment's fsynced prefix
 	crashPending bool  // CRASH sidecar on disk: merges suspended
+	rotateErr    error // rotation failure deferred out of Apply; retried later
 
 	compactions   uint64
 	mergedRecords uint64
 
-	merge  *mergeJob
-	cursor verifyCursor
+	merge       *mergeJob
+	cursor      verifyCursor
+	quarantined map[int]bool // segments a merge found corruption in: never re-merged
 
 	buf     []byte  // Apply's encode buffer
 	offsBuf []int64 // Apply's per-record offset buffer

@@ -148,4 +148,121 @@ func TestMergeRefusesCorruptRecord(t *testing.T) {
 		t.Fatalf("compactions = %d after aborted merge", s.compactions)
 	}
 	checkAll(t, s, 0, 400) // live data (all in newer segments) unharmed
+
+	// The corrupt segment is quarantined: maintenance must go back to the
+	// CRC verify sweep instead of restarting the doomed merge (and
+	// erroring at the same record) every tick.
+	if s.mergeDue() {
+		t.Fatal("merge still due on the quarantined segment")
+	}
+	wrapped := false
+	for i := 0; i < 100 && !wrapped; i++ {
+		rep, done, err := s.ScrubStep()
+		if err != nil {
+			t.Fatalf("scrub step %d after quarantine: %v", i, err)
+		}
+		if !rep.ChecksumsVerified {
+			t.Fatalf("scrub step %d after quarantine was not a verify step", i)
+		}
+		wrapped = done
+	}
+	if !wrapped {
+		t.Fatal("verify sweep never completed a wrap after quarantine")
+	}
+}
+
+// TestCrashSaveSuspendsInflightMerge pins the crash-image contract
+// against an *already running* merge: once CrashSave records its
+// sidecar, subsequent ScrubSteps must drop the in-flight job rather
+// than finish it — completing would delete the oldest segment while its
+// copied-forward live records sit past the crash cut, so the simulated
+// reopen would lose committed, fsynced data.
+func TestCrashSaveSuspendsInflightMerge(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.Scrub.MaxObjectsPerStep = 8 // many steps per merge: easy to catch mid-flight
+	s, err := Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, 0, 400)
+	fill(t, s, 20, 400) // keys 0..19 stay live in the oldest segment; rest of it is dead
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.mergeDue() {
+		t.Fatal("merge not due on the mostly-dead oldest segment")
+	}
+	oldest := s.segs[0].id
+	if _, _, err := s.ScrubStep(); err != nil { // starts the merge
+		t.Fatal(err)
+	}
+	if s.merge == nil {
+		t.Fatal("merge not in flight after one step")
+	}
+	if err := s.CrashSave(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, _, err := s.ScrubStep(); err != nil {
+			t.Fatalf("scrub step %d with crash image pending: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(segPath(dir, oldest)); err != nil {
+		t.Fatalf("merge deleted segment %d despite the pending crash image: %v", oldest, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, opts) // applies the crash cut
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	checkAll(t, s2, 0, 400)
+}
+
+// TestRotationFailureDefersOutOfApply forces rotation to fail (the next
+// segment file already exists, so addSegment's O_EXCL create errors)
+// and pins the Apply contract: the batch is applied, so Apply must
+// return its results with a nil error — surfacing the rotation error
+// would make the shard worker re-apply the whole group per-op. The
+// failure instead surfaces through ScrubStep and rotation is retried
+// until it succeeds.
+func TestRotationFailureDefersOutOfApply(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blocker := segPath(dir, 1)
+	if err := os.WriteFile(blocker, nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, 0, 200) // crosses the 4KiB threshold; every Apply must keep succeeding
+	if s.rotateErr == nil {
+		t.Fatal("rotation never failed against the blocked segment path")
+	}
+	if len(s.segs) != 1 {
+		t.Fatalf("%d segments while rotation is blocked, want 1", len(s.segs))
+	}
+	checkAll(t, s, 0, 200)
+	if _, _, err := s.ScrubStep(); err == nil {
+		t.Fatal("ScrubStep did not surface the deferred rotation failure")
+	}
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, 200, 210) // next Apply retries rotation and seals
+	if len(s.segs) < 2 {
+		t.Fatalf("rotation not retried after unblocking: %d segments", len(s.segs))
+	}
+	if s.rotateErr != nil {
+		t.Fatalf("rotateErr still set after successful retry: %v", s.rotateErr)
+	}
+	checkAll(t, s, 0, 210)
+	if _, _, err := s.ScrubStep(); err != nil {
+		t.Fatalf("scrub step after recovery: %v", err)
+	}
 }

@@ -37,7 +37,24 @@ func (s *Store) recordsPerStep() int {
 // scrubber. done reports a completed verify wrap (merge steps are
 // housekeeping, never "a pass").
 func (s *Store) ScrubStep() (pangolin.ScrubReport, bool, error) {
-	if s.merge != nil || s.mergeDue() {
+	if s.rotateErr != nil {
+		// A rotation deferred out of Apply (which must not report errors
+		// for batches it did apply) is retried here, surfacing repeated
+		// failure through the maintenance error path instead.
+		if err := s.retryRotate(); err != nil {
+			return pangolin.ScrubReport{}, false, err
+		}
+	}
+	if s.crashPending {
+		// The pending crash image needs every pre-crash segment file
+		// intact, so an in-flight merge must not keep running: completing
+		// it would delete the oldest segment while the copied-forward
+		// records sit past the crash cut, losing committed data on the
+		// simulated reopen. Drop the job — already-copied records are dead
+		// weight in the old segment, so the post-Save restart just rescans
+		// past them.
+		s.merge = nil
+	} else if s.merge != nil || s.mergeDue() {
 		rep, err := s.mergeStep()
 		return rep, false, err
 	}
@@ -47,12 +64,20 @@ func (s *Store) ScrubStep() (pangolin.ScrubReport, bool, error) {
 // mergeDue reports whether the oldest sealed segment has enough dead
 // weight (half its records, or no live ones at all) to be worth
 // rewriting. Suspended while a crash image is pending: compaction
-// deletes files the image still needs.
+// deletes files the image still needs. A quarantined oldest segment —
+// one where a previous merge met corruption — parks compaction
+// entirely: retrying would abort at the same record every tick and
+// starve the verify sweep, and merging a *newer* segment instead is
+// unsafe (dropping its tombstones could resurrect older puts on
+// recovery).
 func (s *Store) mergeDue() bool {
 	if s.crashPending || len(s.segs) < 2 {
 		return false
 	}
 	oldest := s.segs[0]
+	if s.quarantined[oldest.id] {
+		return false
+	}
 	return oldest.live == 0 || oldest.live*2 <= oldest.records
 }
 
@@ -62,7 +87,8 @@ func (s *Store) mergeDue() bool {
 // index entry; dead records and tombstones are simply passed over — the
 // oldest segment has nothing before it that a tombstone could
 // resurrect. When the scan completes the segment and its hint are
-// deleted. A CRC mismatch aborts the job with a typed corruption error:
+// deleted. A CRC mismatch aborts the job with a typed corruption error
+// and quarantines the segment so the merge is not retried every tick:
 // with no redundancy there is nothing to rebuild the record from, and
 // deleting the segment would turn detected corruption into silent loss.
 func (s *Store) mergeStep() (pangolin.ScrubReport, error) {
@@ -90,6 +116,10 @@ func (s *Store) mergeStep() (pangolin.ScrubReport, error) {
 			rep.BadObjects++
 			rep.Unrecovered++
 			s.merge = nil
+			if s.quarantined == nil {
+				s.quarantined = make(map[int]bool)
+			}
+			s.quarantined[seg.id] = true
 			return rep, &pangolin.CorruptionError{
 				OID:    pangolin.OID{Pool: uint64(seg.id), Off: uint64(job.off)},
 				Reason: "logstore: merge found a corrupt record",

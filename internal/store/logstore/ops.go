@@ -145,12 +145,35 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 	if act.size >= s.segBytes {
 		if err := s.rotate(); err != nil {
 			// The batch is applied and readable; rotation failing only
-			// delays sealing. Surface it — the worker records the error —
-			// without unwinding the committed batch.
-			return res, err
+			// delays sealing. It must NOT surface through Apply's error
+			// return — store.Store promises an Apply error means nothing
+			// was applied, and the shard worker retries the whole group
+			// per-op on that basis, which would double-apply this batch.
+			// Stash it instead: the threshold check retries on every later
+			// Apply (the tail only grows), and ScrubStep both retries and
+			// reports persistent failure as a maintenance error.
+			s.rotateErr = err
+		} else {
+			s.rotateErr = nil
 		}
 	}
 	return res, nil
+}
+
+// retryRotate re-attempts a rotation that failed during Apply and was
+// deferred. Clears rotateErr on success (or if the pressure is gone);
+// keeps it and returns the failure otherwise.
+func (s *Store) retryRotate() error {
+	if s.rotateErr == nil || s.active().size < s.segBytes {
+		s.rotateErr = nil
+		return nil
+	}
+	if err := s.rotate(); err != nil {
+		s.rotateErr = err
+		return fmt.Errorf("logstore: deferred rotation: %w", err)
+	}
+	s.rotateErr = nil
+	return nil
 }
 
 // rotate seals the active segment — fsync, then a hint file with its
