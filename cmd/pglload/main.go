@@ -35,16 +35,43 @@
 // everything first), and the run exits nonzero unless the server's
 // background scrubber (pglserve -scrub-interval) reports bg_repairs > 0
 // within -heal-wait — injected corruption healed under live traffic
-// with zero client-visible errors. With -crash-after the run ends by sending CRASH,
+// with zero client-visible errors. A -faults run fails fast (before the
+// load finishes) when the server reports that no shard backend supports
+// injection at all: waiting for bg_repairs against a set that cannot be
+// corrupted would only ever time out. With -crash-after the run ends by sending CRASH,
 // killing the server after it writes per-shard crash images; `pglpool
 // check <dir>/shard-*.pgl` then verifies every recovered shard.
+//
+// -snapscans mixes in snapshot-consistent scans: each op opens a
+// pinned-generation SNAPSCAN over a window of the key space and pages
+// it to completion, verifying ascending order and bounds per page; the
+// report carries snap_scan_pairs and snapshot_scan_ops_per_sec, and
+// server_stats carries snap_scans plus the version-buffer gauges
+// (snapshot_pins, versions_retained). A scan whose pin the server's
+// bounded version buffer evicts mid-flight fails with the typed
+// ErrSnapshotTooOld; that is the retention cap working as documented,
+// so it counts as snap_evictions in the report, not as an error.
+//
+// Two standalone modes exercise the backup path end to end. -backup
+// FILE streams a snapshot-consistent BACKUP of the whole keyspace to
+// FILE (16-byte little-endian key,value records) — run it while a
+// separate pglload drives writes to prove one generation-consistent
+// image emerges from under them; the report's versions_retained is the
+// peak the server's version buffers reached while the stream ran.
+// -restore FILE loads such a file back through MPUT batches and SYNCs,
+// after which `pglpool check` on the restored shard files is the
+// loadtest's backup gate.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -78,11 +105,25 @@ type report struct {
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	// Scan accounting: ScanPairs is the pairs all SCAN responses
 	// carried; ScanOpsPerSec is the SCAN round-trip rate (0 when the
-	// mix has no scans).
-	ScanPairs     uint64            `json:"scan_pairs"`
-	ScanOpsPerSec float64           `json:"scan_ops_per_sec"`
-	Latency       latencyMS         `json:"latency_ms"`
-	Mix           map[string]uint64 `json:"mix"`
+	// mix has no scans). The SnapScan fields mirror them for the
+	// snapshot-consistent scans -snapscans mixes in (an "op" is one
+	// whole paginated snapshot scan, opened, drained, and released);
+	// VersionsRetained echoes the server's end-of-run versions_retained
+	// gauge — superseded versions still pinned by open snapshots.
+	ScanPairs         uint64            `json:"scan_pairs"`
+	ScanOpsPerSec     float64           `json:"scan_ops_per_sec"`
+	SnapScanPairs     uint64            `json:"snap_scan_pairs"`
+	SnapScanOpsPerSec float64           `json:"snapshot_scan_ops_per_sec"`
+	// SnapEvictions counts snapshot scans aborted by ErrSnapshotTooOld:
+	// the server's bounded version buffer evicted their pin under load.
+	// That is the documented outcome of the retention cap — the scan
+	// fails typed instead of serving weaker pages — so it is not a
+	// client error, but a plateau here under light snapshot load would
+	// mean the caps are too tight for the mix.
+	SnapEvictions    uint64 `json:"snap_evictions,omitempty"`
+	VersionsRetained int    `json:"versions_retained"`
+	Latency           latencyMS         `json:"latency_ms"`
+	Mix               map[string]uint64 `json:"mix"`
 	// GroupBatchMean is the server's achieved group-commit depth —
 	// batched_ops/batches from server_stats — the number pipelining is
 	// supposed to raise (deeper in-flight windows keep shard worker
@@ -107,6 +148,7 @@ func main() {
 	reads := flag.Float64("reads", 0.5, "fraction of GETs")
 	dels := flag.Float64("dels", 0.1, "fraction of DELs")
 	scans := flag.Float64("scans", 0, "fraction of SCANs (each one SCAN frame; requires -batch 1)")
+	snapScans := flag.Float64("snapscans", 0, "fraction of snapshot scans (each a full paginated SNAPSCAN over a key-space window; requires -batch 1)")
 	scanLimit := flag.Int("scan-limit", 64, "pairs requested per SCAN frame")
 	seed := flag.Int64("seed", 1, "workload seed")
 	backend := flag.String("backend", "",
@@ -117,15 +159,25 @@ func main() {
 	faults := flag.Int("faults", 0, "live faults to INJECT while the load runs (corruption-healing phase); the run then waits for the server's background scrubber to report bg_repairs > 0")
 	faultEvery := flag.Duration("fault-every", 50*time.Millisecond, "pause between INJECT frames")
 	healWait := flag.Duration("heal-wait", 15*time.Second, "how long to wait, after the load, for bg_repairs > 0 (with -faults)")
+	backupFile := flag.String("backup", "", "standalone mode: stream a snapshot-consistent BACKUP of the whole keyspace to this file and exit")
+	restoreFile := flag.String("restore", "", "standalone mode: load a -backup file back into the server via MPUT batches, SYNC, and exit")
 	flag.Parse()
-	if *reads+*dels+*scans > 1 {
-		log.Fatal("pglload: -reads + -dels + -scans exceed 1")
+	if *backupFile != "" {
+		runBackup(*addr, *backupFile)
+		return
+	}
+	if *restoreFile != "" {
+		runRestore(*addr, *restoreFile)
+		return
+	}
+	if *reads+*dels+*scans+*snapScans > 1 {
+		log.Fatal("pglload: -reads + -dels + -scans + -snapscans exceed 1")
 	}
 	if *batch < 1 || *batch > server.MaxBatchOps {
 		log.Fatalf("pglload: -batch must be in [1, %d]", server.MaxBatchOps)
 	}
-	if *scans > 0 && *batch != 1 {
-		log.Fatal("pglload: -scans requires -batch 1 (a scan is its own frame)")
+	if (*scans > 0 || *snapScans > 0) && *batch != 1 {
+		log.Fatal("pglload: -scans and -snapscans require -batch 1 (a scan is its own frame)")
 	}
 	if *scanLimit < 1 || *scanLimit > server.MaxScanPairs {
 		log.Fatalf("pglload: -scan-limit must be in [1, %d]", server.MaxScanPairs)
@@ -141,8 +193,11 @@ func main() {
 		gets      atomic.Uint64
 		puts      atomic.Uint64
 		delOps    atomic.Uint64
-		scanOps   atomic.Uint64
-		scanPairs atomic.Uint64
+		scanOps     atomic.Uint64
+		scanPairs   atomic.Uint64
+		snapOps     atomic.Uint64
+		snapPairs   atomic.Uint64
+		snapEvicted atomic.Uint64
 	)
 	workers := *clients * *pipeline
 	latencies := make([][]time.Duration, workers)
@@ -165,6 +220,20 @@ func main() {
 				return
 			}
 			defer c.Close()
+			// Capability probe before any corruption: INJECT with count 0
+			// corrupts nothing but reports how many shards can inject at
+			// all. When none can (log-structured backends have no in-place
+			// bytes to scribble on), the heal gate can only ever time out —
+			// fail the run now with a clear reason instead.
+			probe, err := c.Inject(*seed, 0)
+			if err != nil {
+				log.Printf("pglload: inject probe: %v", err)
+				return
+			}
+			if probe.CapableShards == 0 {
+				log.Fatalf("pglload: -faults: none of the server's %d shards support fault injection — the bg_repairs gate cannot pass; point -faults at a pangolin-backed set",
+					probe.TotalShards)
+			}
 			for i := 0; i < *faults; i++ {
 				select {
 				case <-stopInject:
@@ -176,7 +245,7 @@ func main() {
 					log.Printf("pglload: inject: %v", err)
 					return
 				}
-				faultsInjected.Add(n)
+				faultsInjected.Add(n.Injected)
 			}
 		}()
 	}
@@ -185,7 +254,11 @@ func main() {
 	// budget and keeps exactly one request in flight on c until the
 	// budget runs out. With -pipeline N, N workers share each connection
 	// — the pipelined client interleaves their frames on one socket.
-	runWorker := func(c *server.Client, slot int) {
+	// snapSem (one per connection) keeps the workers sharing that
+	// connection within the server's MaxConnSnapshots concurrent
+	// snapshots; without it a pipelined connection could race more
+	// snapshot opens than the server allows per connection.
+	runWorker := func(c *server.Client, slot int, snapSem chan struct{}) {
 		rng := rand.New(rand.NewSource(*seed + int64(slot)))
 		lats := make([]time.Duration, 0, int(*ops/uint64(workers)*2))
 		// Keep whatever was measured even if this worker errors out
@@ -237,14 +310,56 @@ func main() {
 					}
 					scanPairs.Add(uint64(len(ps)))
 				}
-			case dice < *scans+*reads:
+			case dice < *scans+*snapScans:
+				// One whole snapshot scan: open a pinned-generation
+				// SNAPSCAN over a key-space window and page it to
+				// completion. Every page must ascend, respect the window,
+				// and — unlike a live scan — describe the single committed
+				// state pinned at open, whatever the other workers commit
+				// meanwhile. The terminal page releases the server-side
+				// pins; -ops counts the whole scan as one op.
+				snapOps.Add(uint64(count))
+				lo := kbuf[0]
+				hi := lo + (*keys >> 4)
+				snapSem <- struct{}{}
+				sc := c.SnapScan(lo, hi)
+				var prev uint64
+				firstPair := true
+				for !sc.Done() {
+					var ps []server.Pair
+					ps, err = sc.Next(*scanLimit)
+					if err != nil {
+						break
+					}
+					for _, pr := range ps {
+						if pr.K < lo || pr.K > hi || (!firstPair && pr.K <= prev) {
+							err = fmt.Errorf("snapshot scan order/bounds violation (key %d, window [%d,%d])", pr.K, lo, hi)
+							break
+						}
+						prev, firstPair = pr.K, false
+					}
+					snapPairs.Add(uint64(len(ps)))
+					if err != nil {
+						break
+					}
+				}
+				<-snapSem
+				if errors.Is(err, server.ErrSnapshotTooOld) {
+					// The bounded version buffer evicted this scan's pin —
+					// the typed outcome of the retention cap. The scan
+					// aborted instead of serving weaker pages (the server
+					// freed its slot), so count the eviction and move on.
+					snapEvicted.Add(1)
+					err = nil
+				}
+			case dice < *scans+*snapScans+*reads:
 				gets.Add(uint64(count))
 				if count == 1 {
 					_, _, err = c.Get(kbuf[0])
 				} else {
 					_, _, err = c.MGet(kbuf)
 				}
-			case dice < *scans+*reads+*dels:
+			case dice < *scans+*snapScans+*reads+*dels:
 				delOps.Add(uint64(count))
 				if count == 1 {
 					_, err = c.Del(kbuf[0])
@@ -286,12 +401,13 @@ func main() {
 				return
 			}
 			defer c.Close()
+			snapSem := make(chan struct{}, server.MaxConnSnapshots)
 			var cwg sync.WaitGroup
 			for w := 0; w < *pipeline; w++ {
 				cwg.Add(1)
 				go func(slot int) {
 					defer cwg.Done()
-					runWorker(c, slot)
+					runWorker(c, slot, snapSem)
 				}(id**pipeline + w)
 			}
 			cwg.Wait()
@@ -327,13 +443,16 @@ func main() {
 		Errors:        errCount.Load(),
 		ElapsedSec:    elapsed.Seconds(),
 		OpsPerSec:     float64(opsDone.Load()) / elapsed.Seconds(),
-		ScanPairs:     scanPairs.Load(),
-		ScanOpsPerSec: float64(scanOps.Load()) / elapsed.Seconds(),
+		ScanPairs:         scanPairs.Load(),
+		ScanOpsPerSec:     float64(scanOps.Load()) / elapsed.Seconds(),
+		SnapScanPairs:     snapPairs.Load(),
+		SnapScanOpsPerSec: float64(snapOps.Load()) / elapsed.Seconds(),
+		SnapEvictions:     snapEvicted.Load(),
 		Latency: latencyMS{
 			P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), P999: pct(0.999),
 			Max: pct(1),
 		},
-		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load(), "scan": scanOps.Load()},
+		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load(), "scan": scanOps.Load(), "snapscan": snapOps.Load()},
 		// Set before the post-run dial: a failed stats connection must
 		// not misreport the injections that already happened as zero.
 		FaultsInjected: faultsInjected.Load(),
@@ -355,7 +474,7 @@ func main() {
 			}
 			for i := 0; i < 4; i++ {
 				if n, err := c.Inject(*seed+int64(*faults)+int64(i), 1); err == nil {
-					faultsInjected.Add(n)
+					faultsInjected.Add(n.Injected)
 				}
 			}
 			rep.FaultsInjected = faultsInjected.Load()
@@ -375,6 +494,7 @@ func main() {
 		if st, err := c.Stats(); err == nil {
 			rep.Server = &st
 			rep.Backend = st.Backends
+			rep.VersionsRetained = st.VersionsHeld
 			if st.Batches > 0 {
 				rep.GroupBatchMean = float64(st.BatchedOps) / float64(st.Batches)
 			}
@@ -406,5 +526,153 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pglload: background scrubber never reported bg_repairs > 0 (injected %d faults)\n",
 			rep.FaultsInjected)
 		os.Exit(1)
+	}
+}
+
+// runBackup implements -backup: one BACKUP stream written to a file of
+// 16-byte little-endian (key, value) records, with a side connection
+// polling STATS while the stream runs so the report can show the peak
+// versions_retained and snapshot_pins the server reached — the
+// version-buffer cost of holding one consistent image open while
+// writers proceed.
+func runBackup(addr, file string) {
+	f, err := os.Create(file)
+	if err != nil {
+		log.Fatalf("pglload: backup: %v", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+
+	peakVers, peakPins := 0, 0
+	stopStats := make(chan struct{})
+	var statsWG sync.WaitGroup
+	if sc, serr := server.Dial(context.Background(), addr); serr == nil {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			defer sc.Close()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-time.After(100 * time.Millisecond):
+				}
+				if st, err := sc.Stats(); err == nil {
+					if st.VersionsHeld > peakVers {
+						peakVers = st.VersionsHeld
+					}
+					if st.SnapshotPins > peakPins {
+						peakPins = st.SnapshotPins
+					}
+				}
+			}
+		}()
+	}
+
+	var pairs uint64
+	var rec [16]byte
+	var writeErr error
+	start := time.Now()
+	streamErr := server.Backup(context.Background(), addr, func(k, v uint64) bool {
+		binary.LittleEndian.PutUint64(rec[:8], k)
+		binary.LittleEndian.PutUint64(rec[8:], v)
+		if _, writeErr = bw.Write(rec[:]); writeErr != nil {
+			return false
+		}
+		pairs++
+		return true
+	})
+	elapsed := time.Since(start)
+	close(stopStats)
+	statsWG.Wait()
+	if streamErr == nil {
+		streamErr = writeErr
+	}
+	if streamErr == nil {
+		streamErr = bw.Flush()
+	}
+	if streamErr == nil {
+		streamErr = f.Sync()
+	}
+	if cerr := f.Close(); streamErr == nil {
+		streamErr = cerr
+	}
+	if streamErr != nil {
+		log.Fatalf("pglload: backup: %v", streamErr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{
+		"backup_file":        file,
+		"backup_pairs":       pairs,
+		"elapsed_sec":        elapsed.Seconds(),
+		"versions_retained":  peakVers,
+		"snapshot_pins_peak": peakPins,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runRestore implements -restore: replay a -backup file through MPUT
+// batches and SYNC, so the restored image is durable before `pglpool
+// check` inspects the shard files — the final leg of the backup gate.
+func runRestore(addr, file string) {
+	f, err := os.Open(file)
+	if err != nil {
+		log.Fatalf("pglload: restore: %v", err)
+	}
+	defer f.Close()
+	c, err := server.Dial(context.Background(), addr)
+	if err != nil {
+		log.Fatalf("pglload: restore: %v", err)
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	ks := make([]uint64, 0, server.MaxBatchOps)
+	vs := make([]uint64, 0, server.MaxBatchOps)
+	var restored uint64
+	start := time.Now()
+	flush := func() error {
+		if len(ks) == 0 {
+			return nil
+		}
+		if err := c.MPut(ks, vs); err != nil {
+			return err
+		}
+		restored += uint64(len(ks))
+		ks, vs = ks[:0], vs[:0]
+		return nil
+	}
+	var rec [16]byte
+	for {
+		if _, rerr := io.ReadFull(br, rec[:]); rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			// ErrUnexpectedEOF here means a truncated record — a corrupt
+			// backup file must fail the restore, not silently shorten it.
+			log.Fatalf("pglload: restore: reading %s: %v", file, rerr)
+		}
+		ks = append(ks, binary.LittleEndian.Uint64(rec[:8]))
+		vs = append(vs, binary.LittleEndian.Uint64(rec[8:]))
+		if len(ks) == server.MaxBatchOps {
+			if err := flush(); err != nil {
+				log.Fatalf("pglload: restore: %v", err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		log.Fatalf("pglload: restore: %v", err)
+	}
+	if err := c.Sync(); err != nil {
+		log.Fatalf("pglload: restore: sync: %v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{
+		"restore_file":   file,
+		"restored_pairs": restored,
+		"elapsed_sec":    time.Since(start).Seconds(),
+	}); err != nil {
+		log.Fatal(err)
 	}
 }

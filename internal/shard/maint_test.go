@@ -112,7 +112,7 @@ func TestMaintHealsInjectedFaults(t *testing.T) {
 	deadline := time.Now().Add(duration)
 	seed := int64(0)
 	for time.Now().Before(deadline) {
-		n, err := s.InjectFaults(seed, 2)
+		n, _, err := s.InjectFaults(seed, 2)
 		if err != nil {
 			t.Fatalf("inject: %v", err)
 		}
@@ -133,7 +133,7 @@ func TestMaintHealsInjectedFaults(t *testing.T) {
 	// faults and require bg_repairs to INCREASE — repairs made during
 	// the load cannot mask a scheduler that wedged since.
 	base := s.Stats().BgRepairs
-	if _, err := s.InjectFaults(seed, 4); err != nil {
+	if _, _, err := s.InjectFaults(seed, 4); err != nil {
 		t.Fatalf("post-traffic inject: %v", err)
 	}
 	waitFor(t, 10*time.Second, "bg_repairs to increase", func() bool {
@@ -220,7 +220,7 @@ func TestSetScrubMergedReport(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.InjectFaults(2, 6); err != nil { // even+odd seeds: scribbles and poison
+	if _, _, err := s.InjectFaults(2, 6); err != nil { // even+odd seeds: scribbles and poison
 		t.Fatal(err)
 	}
 	rep, err := s.Scrub()
@@ -370,7 +370,7 @@ func TestMaintTorture(t *testing.T) {
 			}
 			switch i % 4 {
 			case 0:
-				if _, err := s.InjectFaults(seed, 1); err != nil {
+				if _, _, err := s.InjectFaults(seed, 1); err != nil {
 					fail("inject: %v", err)
 					return
 				}

@@ -20,21 +20,25 @@ type Pair struct {
 const ScanChunkPairs = 256
 
 // shardStream pulls one shard's in-range pairs in ascending chunks and
-// feeds them to the merge.
+// feeds them to the merge. fetch abstracts the chunk source: a live
+// Set.Scan binds the worker's scanChunk, a SetSnapshot.Scan binds
+// snapScanChunk with that shard's pinned snapshot — the merge is
+// identical either way.
 type shardStream struct {
-	w    *worker
-	buf  []Pair
-	pos  int
-	next uint64 // next key to fetch from
-	hi   uint64
-	done bool // no further pairs in [next, hi] on this shard
+	idx   int // shard index, for error attribution
+	fetch func(lo, hi uint64, max int) ([]Pair, error)
+	buf   []Pair
+	pos   int
+	next  uint64 // next key to fetch from
+	hi    uint64
+	done  bool // no further pairs in [next, hi] on this shard
 }
 
 // fill pulls the next chunk. A chunk shorter than requested means the
 // shard is exhausted in the range, as is a chunk ending at the top of
 // the key space.
 func (st *shardStream) fill(chunk int) error {
-	pairs, err := st.w.scanChunk(st.next, st.hi, chunk)
+	pairs, err := st.fetch(st.next, st.hi, chunk)
 	if err != nil {
 		return err
 	}
@@ -73,21 +77,35 @@ func (h *scanHeap) Pop() any          { old := *h; n := len(old); x := old[n-1];
 // faulting chunk falls back to that shard's worker queue. Consistency is
 // therefore per chunk — every chunk observes a single committed image of
 // its shard (commits are excluded while it runs), but a scan spanning
-// several chunks or shards is NOT a point-in-time snapshot: pairs
+// several chunks or shards is not one committed image of the set: pairs
 // committed behind the cursor are missed, pairs ahead of it appear.
 // Every returned pair was committed at the moment its chunk read it.
+// When the whole scan (or a backup) must observe exactly one state while
+// writes proceed, open a pinned-generation snapshot first and page
+// through SetSnapshot.Scan instead.
 //
 // A shutdown surfaces as ErrShuttingDown (errors.Is), matching Get.
 func (s *Set) Scan(lo, hi uint64, limit int) (pairs []Pair, next uint64, more bool, err error) {
 	if limit <= 0 || lo > hi {
 		return nil, 0, false, nil
 	}
-	chunk := min(ScanChunkPairs, limit)
 	streams := make([]*shardStream, len(s.workers))
-	errs := make([]error, len(s.workers))
-	var wg sync.WaitGroup
 	for i, w := range s.workers {
-		streams[i] = &shardStream{w: w, next: lo, hi: hi}
+		w := w
+		streams[i] = &shardStream{idx: i, fetch: w.scanChunk, next: lo, hi: hi}
+	}
+	return mergeStreams(streams, limit)
+}
+
+// mergeStreams runs the k-way heap merge over per-shard ascending
+// streams: the page assembly shared by live scans and snapshot scans.
+// Initial fills run in parallel across shards; refills happen inline as
+// the merge drains a stream.
+func mergeStreams(streams []*shardStream, limit int) (pairs []Pair, next uint64, more bool, err error) {
+	chunk := min(ScanChunkPairs, limit)
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
+	for i := range streams {
 		wg.Add(1)
 		go func(i int) { // initial fills run in parallel across shards
 			defer wg.Done()
@@ -126,7 +144,7 @@ func (s *Set) Scan(lo, hi uint64, limit int) (pairs []Pair, next uint64, more bo
 				// Mid-page the error is authoritative: the page is
 				// genuinely incomplete, so surface it rather than hand
 				// back a truncated range that looks done.
-				return nil, 0, false, fmt.Errorf("shard %d: %w", st.w.idx, err)
+				return nil, 0, false, fmt.Errorf("shard %d: %w", st.idx, err)
 			}
 		}
 		if st.pos < len(st.buf) {

@@ -658,20 +658,26 @@ func (s *Set) Scrub() (pangolin.ScrubReport, error) {
 // — so repeated count=1 calls with advancing seeds (how pglload drives
 // it) still exercise every shard, not just shard 0 (§4.6 fault
 // injection; the server's INJECT op). It returns how many objects were
-// actually corrupted — shards with no live objects, and shards whose
-// backend has no injection hook (store.FaultInjector), inject nothing.
-// Each injection runs on its shard's worker goroutine, serialized with
-// batches like every other store access.
-func (s *Set) InjectFaults(seed int64, count int) (int, error) {
-	injected := 0
-	var first error
+// actually corrupted, plus how many of the set's shards carry the
+// injection hook at all (store.FaultInjector) — the capability count
+// that lets an operator tell "nothing live to corrupt yet" (capable >
+// 0, injected 0: retry) from "these backends cannot inject" (capable
+// 0: a retry loop would spin forever). Shards without the hook inject
+// nothing, explicitly. Each injection runs on its shard's worker
+// goroutine, serialized with batches like every other store access.
+func (s *Set) InjectFaults(seed int64, count int) (injected, capable int, err error) {
+	for _, w := range s.workers {
+		if w.injector != nil {
+			capable++
+		}
+	}
 	start := int(mix(uint64(seed)) % uint64(len(s.workers)))
 	for i := 0; i < count; i++ {
 		w := s.workers[(start+i)%len(s.workers)]
 		r := w.do(request{op: opInject, seed: seed + int64(i)})
 		if r.err != nil {
-			if first == nil {
-				first = r.err
+			if err == nil {
+				err = r.err
 			}
 			continue
 		}
@@ -679,7 +685,7 @@ func (s *Set) InjectFaults(seed int64, count int) (int, error) {
 			injected++
 		}
 	}
-	return injected, first
+	return injected, capable, err
 }
 
 // ScrubHealth summarizes the maintenance subsystem's state across the
@@ -688,13 +694,17 @@ func (s *Set) InjectFaults(seed int64, count int) (int, error) {
 // passes failed (a growing value with a stuck LastFullPass means the
 // cursor cannot advance), and the oldest shard's last completed full
 // pass (the set-wide "verified clean as of" bound — 0 while any shard
-// has yet to finish a pass).
+// has yet to finish a pass). Quarantined counts log segments parked by
+// a corrupt-record merge abort: their data stays readable but is held
+// back from compaction until an operator intervenes, so a nonzero
+// value is a health signal, not a curiosity.
 type ScrubHealth struct {
 	ScrubSteps    uint64 `json:"scrub_steps"`
 	BgRepairs     uint64 `json:"bg_repairs"`
 	ScrubBackoffs uint64 `json:"scrub_backoffs"`
 	ScrubErrors   uint64 `json:"scrub_errors"`
 	LastFullPass  int64  `json:"last_full_pass_unix"`
+	Quarantined   int    `json:"quarantined_segments"`
 }
 
 // ScrubHealth snapshots the set's maintenance counters.
@@ -706,6 +716,7 @@ func (s *Set) ScrubHealth() ScrubHealth {
 		ScrubBackoffs: st.ScrubBackoffs,
 		ScrubErrors:   st.ScrubErrors,
 		LastFullPass:  st.LastFullPass,
+		Quarantined:   st.Quarantined,
 	}
 }
 
@@ -762,12 +773,17 @@ func (s *Set) Stats() Stats {
 		st.FastScanPairs += r.stats.FastScanPairs
 		st.ScanFallbacks += r.stats.ScanFallbacks
 		st.ScanFaults += r.stats.ScanFaults
+		st.SnapScans += r.stats.SnapScans
+		st.SnapScanPairs += r.stats.SnapScanPairs
+		st.SnapshotPins += r.stats.SnapshotPins
+		st.VersionsHeld += r.stats.VersionsHeld
 		st.Objects += r.stats.Objects
 		st.Bytes += r.stats.Bytes
 		st.Segments += r.stats.Segments
 		st.Compactions += r.stats.Compactions
 		st.MergedRecords += r.stats.MergedRecords
 		st.DeadRecords += r.stats.DeadRecords
+		st.Quarantined += r.stats.Quarantined
 	}
 	st.Backends = strings.Join(backends, ",")
 	return st
@@ -856,17 +872,31 @@ type ShardStats struct {
 	ScrubBackoffs uint64 `json:"scrub_backoffs"`
 	ScrubErrors   uint64 `json:"scrub_errors"`
 	LastFullPass  int64  `json:"last_full_pass_unix"`
+	// Snapshot accounting. SnapScans counts pinned-generation scan chunks
+	// served on either path (fast readers and the worker fallback);
+	// SnapshotPins is the shard's currently pinned distinct generations
+	// and VersionsHeld the superseded versions its version buffer retains
+	// for them — both fall back to zero when the last snapshot releases.
+	SnapScans     uint64 `json:"snap_scans"`
+	SnapScanPairs uint64 `json:"snap_scan_pairs"`
+	SnapshotPins  int    `json:"snapshot_pins,omitempty"`
+	VersionsHeld  int    `json:"versions_retained,omitempty"`
 	Objects       int    `json:"objects"`
 	Bytes         uint64 `json:"bytes"`
 	// Log-backend counters, zero on pangolin shards: Segments is the
 	// shard's current segment file count; Compactions counts merged
 	// (deleted) segments; MergedRecords counts live records compaction
 	// copied forward; DeadRecords is the currently reclaimable record
-	// count (overwritten or deleted entries still occupying log space).
+	// count (overwritten or deleted entries still occupying log space);
+	// Quarantined counts segments parked by a corrupt-record merge abort —
+	// still scanned on recovery, never compacted, invisible to no one:
+	// a nonzero value is the operator's signal that detected corruption
+	// is pinned in place (detect-only backend, nothing to rebuild from).
 	Segments      int    `json:"segments,omitempty"`
 	Compactions   uint64 `json:"compactions,omitempty"`
 	MergedRecords uint64 `json:"merged_records,omitempty"`
 	DeadRecords   uint64 `json:"dead_records,omitempty"`
+	Quarantined   int    `json:"quarantined_segments,omitempty"`
 }
 
 // Stats aggregates the set's counters.
@@ -899,11 +929,16 @@ type Stats struct {
 	ScrubBackoffs  uint64       `json:"scrub_backoffs"`
 	ScrubErrors    uint64       `json:"scrub_errors"`
 	LastFullPass   int64        `json:"last_full_pass_unix"` // oldest shard's; 0 while any shard has no pass
+	SnapScans      uint64       `json:"snap_scans"`
+	SnapScanPairs  uint64       `json:"snap_scan_pairs"`
+	SnapshotPins   int          `json:"snapshot_pins"`
+	VersionsHeld   int          `json:"versions_retained"`
 	Objects        int          `json:"objects"`
 	Bytes          uint64       `json:"bytes"`
 	Segments       int          `json:"segments"`
 	Compactions    uint64       `json:"compactions"`
 	MergedRecords  uint64       `json:"merged_records"`
 	DeadRecords    uint64       `json:"dead_records"`
+	Quarantined    int          `json:"quarantined_segments"`
 	Shards         []ShardStats `json:"shards"`
 }

@@ -25,6 +25,8 @@ const (
 	opScrub     // a full pass: bounded steps interleaved with requests
 	opScrubStep // one bounded step of the shard's background maintenance
 	opInject    // corrupt a random live object (fault-injection hook)
+	opSnapOpen  // pin the shard's current generation (store.SnapshotViewer)
+	opSnapScan  // one snapshot scan chunk on the owner (repairing) read path
 )
 
 // Batch op kinds (BatchOp.Kind).
@@ -55,7 +57,8 @@ type request struct {
 	k, v  uint64 // key/value; for opScan, the lo/hi bounds
 	max   int    // opScan: chunk pair cap
 	seed  int64
-	ops   []BatchOp // opBatch
+	ops   []BatchOp       // opBatch
+	snap  *store.Snapshot // opSnapScan: the pinned snapshot to resolve reads at
 	reply chan response
 	// done is the asynchronous completion path: when set (Submit), the
 	// worker invokes it exactly once with the response instead of
@@ -81,8 +84,9 @@ type response struct {
 	v     uint64
 	ok    bool
 	err   error
-	batch []BatchResult // opBatch
-	pairs []Pair        // opScan
+	batch []BatchResult   // opBatch
+	pairs []Pair          // opScan / opSnapScan
+	snap  *store.Snapshot // opSnapOpen
 	stats ShardStats
 	scrub pangolin.ScrubReport
 }
@@ -110,9 +114,12 @@ type worker struct {
 	// Optional backend capabilities, type-asserted once at construction;
 	// nil when the backend does not provide them. scrubber serves full
 	// SCRUB passes and the repair-retry heal path; injector serves
-	// INJECT (nil reports "nothing injected").
+	// INJECT (nil reports "nothing injected"); snapper serves pinned-
+	// generation snapshots (nil answers opSnapOpen with the typed
+	// store.ErrSnapshotUnsupported — never a silently weaker scan).
 	scrubber store.ScrubRunner
 	injector store.FaultInjector
+	snapper  store.SnapshotViewer
 
 	// Concurrent verified-read fast path. view is the store's ReadView
 	// capability handle; callers' goroutines run verified reads on it
@@ -140,6 +147,11 @@ type worker struct {
 	fastScanPairs atomic.Uint64 // pairs those chunks carried
 	scanFallbacks atomic.Uint64 // chunks bounced to the worker: gate busy / freeze
 	scanFaults    atomic.Uint64 // chunks bounced to the worker: fault needing repair
+
+	// Snapshot scan chunk counters: chunks resolved at a pinned
+	// generation, on either path (fast readers and worker fallback).
+	snapScans     atomic.Uint64
+	snapScanPairs atomic.Uint64
 
 	// scrubBackoffs counts maintenance steps the scheduler skipped
 	// because this worker was busy (queued requests, or the enqueue
@@ -205,6 +217,7 @@ func newWorker(idx int, st store.Store, view store.View, queueLen, maxBatch int)
 	}
 	w.scrubber, _ = st.(store.ScrubRunner)
 	w.injector, _ = st.(store.FaultInjector)
+	w.snapper, _ = st.(store.SnapshotViewer)
 	go w.loop()
 	return w
 }
@@ -331,10 +344,69 @@ func (w *worker) fastScanChunk(lo, hi uint64, max int) (pairs []Pair, err error,
 	return pairs, nil, true
 }
 
+// snapScanChunk returns one chunk of a pinned-generation scan — the
+// same two-population split as scanChunk: the fast path resolves the
+// chunk against the shard's ReadView under the reader gate on the
+// caller's goroutine, and a gate-busy, freeze, or fault chunk falls
+// back to the worker queue, where the snapshot resolves against the
+// owner store's repairing reads.
+func (w *worker) snapScanChunk(sn *store.Snapshot, lo, hi uint64, max int) ([]Pair, error) {
+	if pairs, err, served := w.fastSnapScanChunk(sn, lo, hi, max); served {
+		return pairs, err
+	}
+	r := w.do(request{op: opSnapScan, snap: sn, k: lo, v: hi, max: max})
+	return r.pairs, r.err
+}
+
+// fastSnapScanChunk attempts one snapshot chunk on the concurrent fast
+// path. A typed snapshot verdict (ErrSnapshotTooOld) is served
+// directly — the worker cannot improve on it — while read faults
+// bounce to the worker's repairing path as usual.
+func (w *worker) fastSnapScanChunk(sn *store.Snapshot, lo, hi uint64, max int) (pairs []Pair, err error, served bool) {
+	if w.view == nil {
+		return nil, nil, false
+	}
+	if w.isClosed() {
+		return nil, fmt.Errorf("shard %d: %w", w.idx, ErrShuttingDown), true
+	}
+	if !w.gate.TryRLock() {
+		w.scanFallbacks.Add(1)
+		return nil, nil, false
+	}
+	pairs, err = scanCollect(snapScanner{sn: sn, live: w.view}, sn.Ordered(), lo, hi, max)
+	w.gate.RUnlock()
+	if err != nil {
+		if errors.Is(err, store.ErrSnapshotTooOld) {
+			return nil, err, true
+		}
+		if pangolin.ReadBusy(err) {
+			w.scanFallbacks.Add(1)
+		} else {
+			w.scanFaults.Add(1)
+		}
+		return nil, nil, false
+	}
+	w.snapScans.Add(1)
+	w.snapScanPairs.Add(uint64(len(pairs)))
+	return pairs, nil, true
+}
+
 // scanner is the ranged-iteration surface scanCollect consumes; both
 // store.Store and store.View provide it.
 type scanner interface {
 	Scan(lo, hi uint64, fn func(k, v uint64) bool) error
+}
+
+// snapScanner binds a pinned snapshot to a live read source, giving
+// scanCollect the plain ranged-iteration surface it expects while every
+// pair resolves at the pinned generation.
+type snapScanner struct {
+	sn   *store.Snapshot
+	live store.View
+}
+
+func (s snapScanner) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	return s.sn.Scan(s.live, lo, hi, fn)
 }
 
 // scanCollect gathers the up-to-max smallest in-range pairs from one
@@ -1020,6 +1092,38 @@ func (w *worker) handle(req request) response {
 		}
 		w.scanPairs += uint64(len(pairs))
 		return response{pairs: pairs, err: err}
+	case opSnapOpen:
+		// Pin the shard's current committed generation. Routed through the
+		// worker so the pin lands between group commits, never mid-batch —
+		// the version buffer's staging decision is then stable for every
+		// whole batch after the pin.
+		if w.snapper == nil {
+			return response{err: fmt.Errorf("shard %d (%s): %w", w.idx, w.st.Backend(), store.ErrSnapshotUnsupported)}
+		}
+		sn, err := w.snapper.OpenSnapshot()
+		if err != nil {
+			w.errs++
+			return response{err: fmt.Errorf("shard %d: %w", w.idx, err)}
+		}
+		return response{snap: sn}
+	case opSnapScan:
+		// The worker-path snapshot chunk: pinned-generation resolution over
+		// the owner store's repairing reads. A typed snapshot verdict is
+		// final; read faults get the usual one-heal retry.
+		var pairs []Pair
+		err := w.withHeal(func() (e error) {
+			pairs, e = scanCollect(snapScanner{sn: req.snap, live: w.st}, req.snap.Ordered(), req.k, req.v, req.max)
+			return e
+		})
+		if err != nil {
+			if !errors.Is(err, store.ErrSnapshotTooOld) {
+				w.errs++
+			}
+			return response{err: err}
+		}
+		w.snapScans.Add(1)
+		w.snapScanPairs.Add(uint64(len(pairs)))
+		return response{pairs: pairs}
 	case opStats:
 		sst := w.st.Stats()
 		return response{stats: ShardStats{
@@ -1048,12 +1152,17 @@ func (w *worker) handle(req request) response {
 			ScrubBackoffs:  w.scrubBackoffs.Load(),
 			ScrubErrors:    w.scrubErrs,
 			LastFullPass:   w.lastFullPassUnix,
+			SnapScans:      w.snapScans.Load(),
+			SnapScanPairs:  w.snapScanPairs.Load(),
 			Objects:        sst.Objects,
 			Bytes:          sst.Bytes,
 			Segments:       sst.Segments,
 			Compactions:    sst.Compactions,
 			MergedRecords:  sst.MergedRecords,
 			DeadRecords:    sst.DeadRecords,
+			Quarantined:    sst.QuarantinedSegments,
+			SnapshotPins:   sst.SnapshotPins,
+			VersionsHeld:   sst.VersionsRetained,
 		}}
 	case opSync:
 		return response{err: w.st.Save()}

@@ -7,9 +7,12 @@
 package store_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 
 	"github.com/pangolin-go/pangolin"
@@ -35,8 +38,16 @@ func pgConfig() pangolin.Config {
 	return pangolin.Config{Mode: pangolin.ModePangolinMLPC}
 }
 
-func harnesses(t *testing.T) []harness {
-	structure, err := registry.ByName("hashmap")
+func harnesses(t *testing.T) []harness { return harnessesStruct(t, "hashmap") }
+
+// harnessesStruct builds the backend harnesses over a chosen kv
+// structure. The main suite runs on hashmap; the snapshot suite also
+// runs on btree so the ordered snapshot-scan merge path (sorted overlay
+// interleaved with the ascending live stream) is exercised — the
+// logstore serves scans from its index map and stays unordered
+// regardless.
+func harnessesStruct(t *testing.T, structureName string) []harness {
+	structure, err := registry.ByName(structureName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +89,7 @@ func harnesses(t *testing.T) []harness {
 			injects: false,
 			create: func(t *testing.T, dir string) store.Store {
 				st, err := logstore.Create(logstore.ShardDir(dir, 0), logstore.Options{
-					Structure: "hashmap", Index: 0, Count: 1,
+					Structure: structureName, Index: 0, Count: 1,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -87,7 +98,7 @@ func harnesses(t *testing.T) []harness {
 			},
 			open: func(t *testing.T, dir string) store.Store {
 				st, err := logstore.Open(logstore.ShardDir(dir, 0), logstore.Options{
-					Structure: "hashmap", Index: 0, Count: 1,
+					Structure: structureName, Index: 0, Count: 1,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -397,6 +408,9 @@ func TestContractCapabilities(t *testing.T) {
 		if _, ok := st.(store.FaultInjector); ok != h.injects {
 			t.Fatalf("FaultInjector presence = %v, want %v", ok, h.injects)
 		}
+		if _, ok := st.(store.SnapshotViewer); !ok {
+			t.Fatal("backend lacks SnapshotViewer (both in-repo backends provide it)")
+		}
 	})
 }
 
@@ -488,6 +502,291 @@ func TestParseBackendSpec(t *testing.T) {
 			t.Fatalf("ParseBackendSpec(%q) = %v, want %v", c.spec, got, c.want)
 		}
 	}
+}
+
+// --- Snapshot contract -------------------------------------------------
+//
+// Both in-repo engines implement store.SnapshotViewer; these tests pin
+// its semantics: reads resolve at exactly the pinned generation while
+// commits proceed, release (or eviction) fails reads with the typed
+// ErrSnapshotTooOld, and the version-buffer gauges account for the pins.
+
+// forEachBackendSnap runs fn over both backends crossed with an
+// unordered (hashmap) and an ordered (btree) structure, so both the
+// ordered overlay-merge scan and the unordered mask-and-append scan are
+// covered.
+func forEachBackendSnap(t *testing.T, fn func(t *testing.T, h harness)) {
+	for _, structure := range []string{"hashmap", "btree"} {
+		for _, h := range harnessesStruct(t, structure) {
+			t.Run(h.name+"/"+structure, func(t *testing.T) { fn(t, h) })
+		}
+	}
+}
+
+func TestContractSnapshotPinnedReads(t *testing.T) {
+	forEachBackendSnap(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		sv, ok := st.(store.SnapshotViewer)
+		if !ok {
+			t.Fatal("backend lacks SnapshotViewer")
+		}
+		for k := uint64(0); k < 50; k++ {
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: k, V: k * 10})
+		}
+		sn, err := sv.OpenSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn.Ordered() != st.Ordered() {
+			t.Fatalf("snapshot Ordered() = %v, backend reports %v", sn.Ordered(), st.Ordered())
+		}
+		// Mutate every way a key can change after the pin: overwrite,
+		// delete, insert.
+		mustApply(t, st,
+			store.Op{Kind: store.OpPut, K: 1, V: 999},
+			store.Op{Kind: store.OpDel, K: 2},
+			store.Op{Kind: store.OpPut, K: 100, V: 1},
+		)
+		// The live store serves the new state...
+		if v, _ := mustGet(t, st, 1); v != 999 {
+			t.Fatalf("live Get(1) = %d after overwrite", v)
+		}
+		if _, ok := mustGet(t, st, 2); ok {
+			t.Fatal("live Get(2) still present after delete")
+		}
+		// ...while the snapshot still reads the pinned image: the
+		// overwritten value, the deleted key, and no post-pin insert.
+		if v, ok, err := sn.Get(st, 1); err != nil || !ok || v != 10 {
+			t.Fatalf("snapshot Get(1) = (%d,%v,%v), want (10,true,nil)", v, ok, err)
+		}
+		if v, ok, err := sn.Get(st, 2); err != nil || !ok || v != 20 {
+			t.Fatalf("snapshot Get(2) = (%d,%v,%v), want (20,true,nil)", v, ok, err)
+		}
+		if _, ok, err := sn.Get(st, 100); err != nil || ok {
+			t.Fatalf("snapshot observed key 100, inserted after the pin (ok=%v err=%v)", ok, err)
+		}
+		// A full snapshot scan is exactly the pinned image — 50 pairs,
+		// original values, ascending when the backend is ordered.
+		got := make(map[uint64]uint64)
+		last, ordered := uint64(0), true
+		if err := sn.Scan(st, 0, ^uint64(0), func(k, v uint64) bool {
+			if _, dup := got[k]; dup {
+				t.Fatalf("snapshot scan yielded key %d twice", k)
+			}
+			if len(got) > 0 && k < last {
+				ordered = false
+			}
+			last = k
+			got[k] = v
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("snapshot scan yielded %d pairs, want 50", len(got))
+		}
+		for k := uint64(0); k < 50; k++ {
+			if got[k] != k*10 {
+				t.Fatalf("snapshot scan key %d = %d, want %d", k, got[k], k*10)
+			}
+		}
+		if sn.Ordered() && !ordered {
+			t.Fatal("ordered snapshot scan yielded out-of-order keys")
+		}
+		// Early stop is honored on the snapshot path too.
+		n := 0
+		if err := sn.Scan(st, 0, ^uint64(0), func(k, v uint64) bool { n++; return n < 5 }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("snapshot scan continued past a false return: %d pairs", n)
+		}
+		// Gauges while pinned: one pin, and exactly the three superseded
+		// versions the mutation batch preserved for it.
+		if s := st.Stats(); s.SnapshotPins != 1 || s.VersionsRetained != 3 {
+			t.Fatalf("pinned gauges = %d pins / %d versions, want 1 / 3", s.SnapshotPins, s.VersionsRetained)
+		}
+		// Release is idempotent; reads after it fail typed; the buffer
+		// prunes to empty once nothing is pinned.
+		sn.Release()
+		sn.Release()
+		if _, _, err := sn.Get(st, 1); !errors.Is(err, store.ErrSnapshotTooOld) {
+			t.Fatalf("Get after Release = %v, want ErrSnapshotTooOld", err)
+		}
+		if err := sn.Scan(st, 0, ^uint64(0), func(k, v uint64) bool { return true }); !errors.Is(err, store.ErrSnapshotTooOld) {
+			t.Fatalf("Scan after Release = %v, want ErrSnapshotTooOld", err)
+		}
+		if s := st.Stats(); s.SnapshotPins != 0 || s.VersionsRetained != 0 {
+			t.Fatalf("released gauges = %d pins / %d versions, want 0 / 0", s.SnapshotPins, s.VersionsRetained)
+		}
+	})
+}
+
+// TestContractSnapshotPinEviction: the pin cap bounds how many distinct
+// generations stay readable; opening past it evicts the oldest pin,
+// whose snapshot then fails with the typed staleness error rather than
+// silently reading a newer state.
+func TestContractSnapshotPinEviction(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		sv := st.(store.SnapshotViewer)
+		mustApply(t, st, store.Op{Kind: store.OpPut, K: 0, V: 0})
+		snaps := make([]*store.Snapshot, 0, store.DefaultMaxPins+1)
+		for i := 0; i <= store.DefaultMaxPins; i++ {
+			sn, err := sv.OpenSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, sn)
+			// Advance the generation so every pin is distinct.
+			mustApply(t, st, store.Op{Kind: store.OpPut, K: 0, V: uint64(i + 1)})
+		}
+		if _, _, err := snaps[0].Get(st, 0); !errors.Is(err, store.ErrSnapshotTooOld) {
+			t.Fatalf("evicted snapshot read = %v, want ErrSnapshotTooOld", err)
+		}
+		// The surviving pins still resolve their exact images.
+		want := uint64(store.DefaultMaxPins)
+		if v, ok, err := snaps[len(snaps)-1].Get(st, 0); err != nil || !ok || v != want {
+			t.Fatalf("newest snapshot Get = (%d,%v,%v), want (%d,true,nil)", v, ok, err, want)
+		}
+		for _, sn := range snaps {
+			sn.Release()
+		}
+		if s := st.Stats(); s.SnapshotPins != 0 || s.VersionsRetained != 0 {
+			t.Fatalf("gauges after release-all = %d pins / %d versions", s.SnapshotPins, s.VersionsRetained)
+		}
+	})
+}
+
+// TestContractSnapshotTorture races paginated snapshot scans and
+// backup-style full scans against whole-image Apply batches, scrub
+// steps, and mid-stream CrashSave (run it with -race). Every batch
+// rewrites every key with the round number, so a consistent snapshot
+// must see exactly one round across all keys and all pages — observing
+// two rounds means the pin leaked a later commit. The RWMutex gate
+// enforces the View exclusion contract the way the shard layer does:
+// mutators exclusive, snapshot readers shared.
+func TestContractSnapshotTorture(t *testing.T) {
+	forEachBackendSnap(t, func(t *testing.T, h harness) {
+		st := h.create(t, t.TempDir())
+		defer st.Close()
+		sv := st.(store.SnapshotViewer)
+		const nKeys = 96
+		batch := func(r uint64) []store.Op {
+			ops := make([]store.Op, nKeys)
+			for k := range ops {
+				ops[k] = store.Op{Kind: store.OpPut, K: uint64(k), V: r}
+			}
+			return ops
+		}
+		if _, err := st.Apply(batch(0)); err != nil {
+			t.Fatal(err)
+		}
+
+		var gate sync.RWMutex
+		stop := make(chan struct{})
+		errc := make(chan error, 8)
+		var writerWG, readerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for r := uint64(1); ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gate.Lock()
+				_, err := st.Apply(batch(r))
+				if err == nil && r%5 == 0 {
+					_, _, err = st.ScrubStep()
+				}
+				if err == nil && r%9 == 0 {
+					err = st.CrashSave(int64(r))
+				}
+				gate.Unlock()
+				if err != nil {
+					errc <- fmt.Errorf("writer round %d: %w", r, err)
+					return
+				}
+			}
+		}()
+		for g := 0; g < 3; g++ {
+			readerWG.Add(1)
+			go func(g int) {
+				defer readerWG.Done()
+				for i := 0; i < 15; i++ {
+					gate.RLock()
+					sn, err := sv.OpenSnapshot()
+					gate.RUnlock()
+					if err != nil {
+						errc <- err
+						return
+					}
+					rounds := make(map[uint64]bool)
+					count := 0
+					var scanErr error
+					if g == 0 {
+						// Backup-style: one full pass over the keyspace.
+						gate.RLock()
+						scanErr = sn.Scan(st, 0, ^uint64(0), func(k, v uint64) bool {
+							rounds[v] = true
+							count++
+							return true
+						})
+						gate.RUnlock()
+					} else {
+						// Paginated: disjoint range pages with the gate
+						// dropped between them, so the writer commits more
+						// rounds mid-scan — exactly the smear the pinned
+						// generation must mask.
+						for lo := uint64(0); lo < nKeys; lo += 13 {
+							hi := lo + 12
+							gate.RLock()
+							scanErr = sn.Scan(st, lo, hi, func(k, v uint64) bool {
+								rounds[v] = true
+								count++
+								return true
+							})
+							gate.RUnlock()
+							if scanErr != nil {
+								break
+							}
+							runtime.Gosched()
+						}
+					}
+					sn.Release()
+					if scanErr != nil {
+						// Retention caps may evict a long-lived pin under
+						// heavy commit churn; that is the typed, allowed
+						// outcome — anything else fails the test.
+						if errors.Is(scanErr, store.ErrSnapshotTooOld) {
+							continue
+						}
+						errc <- scanErr
+						return
+					}
+					if len(rounds) != 1 {
+						errc <- fmt.Errorf("snapshot smeared %d rounds: %v", len(rounds), rounds)
+						return
+					}
+					if count != nKeys {
+						errc <- fmt.Errorf("snapshot scan saw %d keys, want %d", count, nKeys)
+						return
+					}
+				}
+			}(g)
+		}
+		readerWG.Wait()
+		close(stop)
+		writerWG.Wait()
+		close(errc)
+		for err := range errc {
+			t.Error(err)
+		}
+	})
 }
 
 // TestContractApplyRejectsUnknownKind: a malformed batch must fail whole

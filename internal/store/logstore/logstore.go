@@ -174,6 +174,9 @@ type Store struct {
 	cursor      verifyCursor
 	quarantined map[int]bool // segments a merge found corruption in: never re-merged
 
+	vb      *store.VersionBuffer // pinned-snapshot version retention
+	merging bool                 // inside mergeStep's copy-forward Apply: no staging
+
 	buf     []byte  // Apply's encode buffer
 	offsBuf []int64 // Apply's per-record offset buffer
 
@@ -181,9 +184,10 @@ type Store struct {
 }
 
 var (
-	_ store.Store       = (*Store)(nil)
-	_ store.ReadViewer  = (*Store)(nil)
-	_ store.ScrubRunner = (*Store)(nil)
+	_ store.Store          = (*Store)(nil)
+	_ store.ReadViewer     = (*Store)(nil)
+	_ store.ScrubRunner    = (*Store)(nil)
+	_ store.SnapshotViewer = (*Store)(nil)
 )
 
 func segPath(dir string, id int) string  { return filepath.Join(dir, fmt.Sprintf("%06d.seg", id)) }
@@ -215,6 +219,7 @@ func Create(dir string, opts Options) (*Store, error) {
 		scrub:     opts.Scrub,
 		idx:       make(map[uint64]entry),
 		batch:     1,
+		vb:        store.NewVersionBuffer(),
 	}
 	if err := s.addSegment(0); err != nil {
 		s.Close()
@@ -261,6 +266,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		scrub:     opts.Scrub,
 		idx:       make(map[uint64]entry),
 		batch:     1,
+		vb:        store.NewVersionBuffer(),
 	}
 	if len(ids) == 0 {
 		// A crash cut can erase every segment (nothing was ever synced):
@@ -465,11 +471,14 @@ func (s *Store) Ordered() bool { return false }
 // Stats implements store.Store.
 func (s *Store) Stats() store.Stats {
 	st := store.Stats{
-		Backend:       store.BackendLog,
-		Objects:       len(s.idx),
-		Segments:      len(s.segs),
-		Compactions:   s.compactions,
-		MergedRecords: s.mergedRecords,
+		Backend:             store.BackendLog,
+		Objects:             len(s.idx),
+		Segments:            len(s.segs),
+		Compactions:         s.compactions,
+		MergedRecords:       s.mergedRecords,
+		QuarantinedSegments: len(s.quarantined),
+		SnapshotPins:        s.vb.Pins(),
+		VersionsRetained:    s.vb.Retained(),
 	}
 	var records, live uint64
 	for _, sg := range s.segs {

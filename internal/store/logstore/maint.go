@@ -136,7 +136,13 @@ func (s *Store) mergeStep() (pangolin.ScrubReport, error) {
 		job.off += recSize
 	}
 	if len(liveOps) > 0 {
-		if _, err := s.Apply(liveOps); err != nil {
+		// Copy-forward rewrites live records with their current values —
+		// no logical state changes — so the version buffer must not
+		// treat it as an overwrite of pinned bytes.
+		s.merging = true
+		_, err := s.Apply(liveOps)
+		s.merging = false
+		if err != nil {
 			s.merge = nil
 			return rep, fmt.Errorf("logstore: merge copy-forward: %w", err)
 		}

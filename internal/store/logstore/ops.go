@@ -103,12 +103,26 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 	act := s.active()
 	buf := s.buf[:0]
 	offs := s.offsBuf[:0]
+	// With pinned snapshots open, preserve each mutated key's pre-batch
+	// state in the version buffer (the index is untouched until the
+	// batch is durable, so these reads see exactly the prior committed
+	// state). The merge's copy-forward rewrites identical values, so it
+	// never needs to preserve anything.
+	recording := !s.merging && s.vb.Recording()
 	for _, op := range ops {
 		switch op.Kind {
 		case store.OpPut:
+			if recording {
+				e, ok := s.idx[op.K]
+				s.vb.Stage(op.K, e.val, ok)
+			}
 			offs = append(offs, act.size+int64(len(buf)))
 			buf = encodeRecord(buf, recPut, s.batch, op.K, op.V)
 		case store.OpDel:
+			if recording {
+				e, ok := s.idx[op.K]
+				s.vb.Stage(op.K, e.val, ok)
+			}
 			offs = append(offs, act.size+int64(len(buf)))
 			buf = encodeRecord(buf, recDel, s.batch, op.K, 0)
 		}
@@ -120,9 +134,11 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 		// never be replayed (best-effort; recovery's committed-batch scan
 		// is the backstop).
 		_ = act.f.Truncate(act.size)
+		s.vb.Abort()
 		return nil, fmt.Errorf("logstore: append batch: %w", err)
 	}
 	s.batch++
+	s.vb.Commit()
 	act.size += int64(len(buf))
 	act.records += uint64(nData)
 	di := 0
@@ -250,6 +266,17 @@ type view struct{ s *Store }
 
 // ReadView implements store.ReadViewer.
 func (s *Store) ReadView() (store.View, error) { return view{s: s}, nil }
+
+// OpenSnapshot implements store.SnapshotViewer: pin the current
+// committed generation (the batch counter) in the version buffer.
+// Subsequent batches preserve overwritten pre-states there, so the
+// snapshot resolves every read at exactly the pinned generation.
+func (s *Store) OpenSnapshot() (*store.Snapshot, error) {
+	if s.closed {
+		return nil, fmt.Errorf("logstore: store closed")
+	}
+	return s.vb.Open(s.Ordered()), nil
+}
 
 func (v view) Get(k uint64) (uint64, bool, error) { return v.s.Get(k) }
 func (v view) Scan(lo, hi uint64, fn func(k, v uint64) bool) error {

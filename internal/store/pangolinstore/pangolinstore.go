@@ -48,13 +48,15 @@ type Store struct {
 	m         kv.Map
 	structure registry.Structure
 	scrubCfg  pangolin.ScrubberConfig
+	vb        *store.VersionBuffer // pinned-snapshot version retention
 }
 
 var (
-	_ store.Store         = (*Store)(nil)
-	_ store.ReadViewer    = (*Store)(nil)
-	_ store.FaultInjector = (*Store)(nil)
-	_ store.ScrubRunner   = (*Store)(nil)
+	_ store.Store          = (*Store)(nil)
+	_ store.ReadViewer     = (*Store)(nil)
+	_ store.FaultInjector  = (*Store)(nil)
+	_ store.ScrubRunner    = (*Store)(nil)
+	_ store.SnapshotViewer = (*Store)(nil)
 )
 
 // Create initializes shard idx of pools with a fresh structure instance
@@ -74,7 +76,8 @@ func Create(pools *pangolin.PoolSet, idx int, structure registry.Structure, scru
 	}); err != nil {
 		return nil, fmt.Errorf("root: %w", err)
 	}
-	return &Store{pools: pools, idx: idx, pool: p, m: m, structure: structure, scrubCfg: scrubCfg}, nil
+	return &Store{pools: pools, idx: idx, pool: p, m: m, structure: structure, scrubCfg: scrubCfg,
+		vb: store.NewVersionBuffer()}, nil
 }
 
 // Open reattaches shard idx of pools from its persistent root,
@@ -99,7 +102,8 @@ func Open(pools *pangolin.PoolSet, idx int, scrubCfg pangolin.ScrubberConfig) (*
 	if err != nil {
 		return nil, fmt.Errorf("attach %s: %w", structure.Name, err)
 	}
-	return &Store{pools: pools, idx: idx, pool: p, m: m, structure: structure, scrubCfg: scrubCfg}, nil
+	return &Store{pools: pools, idx: idx, pool: p, m: m, structure: structure, scrubCfg: scrubCfg,
+		vb: store.NewVersionBuffer()}, nil
 }
 
 func writeRoot(p *pangolin.Pool, r shardRoot) error {
@@ -170,29 +174,40 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 		}
 	}
 	res := make([]store.Result, len(ops))
+	recording := muts > 0 && s.vb.Recording()
+	if recording {
+		s.stagePreStates(ops)
+	}
 	if muts == 0 || len(ops) == 1 {
 		for i, op := range ops {
 			switch op.Kind {
 			case store.OpPut:
 				if err := s.m.Insert(op.K, op.V); err != nil {
+					s.vb.Abort()
 					return nil, err
 				}
 				res[i] = store.Result{OK: true}
 			case store.OpGet:
 				v, ok, err := s.m.Lookup(op.K)
 				if err != nil {
+					s.vb.Abort()
 					return nil, err
 				}
 				res[i] = store.Result{V: v, OK: ok}
 			case store.OpDel:
 				ok, err := s.m.Remove(op.K)
 				if err != nil {
+					s.vb.Abort()
 					return nil, err
 				}
 				res[i] = store.Result{OK: ok}
 			default:
+				s.vb.Abort()
 				return nil, fmt.Errorf("pangolinstore: unknown op kind %d", op.Kind)
 			}
+		}
+		if muts > 0 {
+			s.vb.Commit()
 		}
 		return res, nil
 	}
@@ -223,9 +238,32 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 		return nil
 	})
 	if err != nil {
+		s.vb.Abort()
 		return nil, err
 	}
+	s.vb.Commit()
 	return res, nil
+}
+
+// stagePreStates preserves each mutated key's pre-batch state in the
+// version buffer before the batch touches the structure (the owner
+// Lookup sees exactly the prior committed state — the transaction has
+// not started). A pre-state the engine cannot read even after online
+// repair invalidates every pin rather than failing the commit: the
+// affected snapshots report ErrSnapshotTooOld instead of silently
+// missing a version.
+func (s *Store) stagePreStates(ops []store.Op) {
+	for _, op := range ops {
+		if op.Kind == store.OpGet {
+			continue
+		}
+		v, ok, err := s.m.Lookup(op.K)
+		if err != nil {
+			s.vb.Invalidate()
+			return
+		}
+		s.vb.Stage(op.K, v, ok)
+	}
 }
 
 // Save implements store.Store: persist this shard's snapshot file.
@@ -246,9 +284,11 @@ func (s *Store) ScrubStep() (pangolin.ScrubReport, bool, error) { return s.pool.
 func (s *Store) Stats() store.Stats {
 	live := s.pool.LiveObjects()
 	return store.Stats{
-		Backend: store.BackendPangolin,
-		Objects: live.Objects,
-		Bytes:   live.Bytes,
+		Backend:          store.BackendPangolin,
+		Objects:          live.Objects,
+		Bytes:            live.Bytes,
+		SnapshotPins:     s.vb.Pins(),
+		VersionsRetained: s.vb.Retained(),
 	}
 }
 
@@ -276,6 +316,15 @@ func (s *Store) ReadView() (store.View, error) {
 		return nil, err
 	}
 	return roView{m: m}, nil
+}
+
+// OpenSnapshot implements store.SnapshotViewer: pin the current
+// committed generation (the store's applied-batch count) in the
+// version buffer. Subsequent commits preserve each overwritten key's
+// prior state there, so the snapshot resolves every read at exactly
+// the pinned generation while group commits proceed.
+func (s *Store) OpenSnapshot() (*store.Snapshot, error) {
+	return s.vb.Open(s.Ordered()), nil
 }
 
 // InjectFault implements store.FaultInjector (§4.6): corrupt a

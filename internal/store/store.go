@@ -89,6 +89,15 @@ type Stats struct {
 	Compactions   uint64 // sealed segments merged away since open
 	MergedRecords uint64 // live records carried forward by merges
 	DeadRecords   uint64 // records overwritten/deleted but not yet merged away
+	// QuarantinedSegments counts segments parked by a merge that met
+	// corruption: their live records are held back from compaction until
+	// an operator intervenes, so a nonzero count is an operator signal,
+	// not routine housekeeping (logstore only).
+	QuarantinedSegments int
+
+	// MVCC snapshot counters (backends implementing SnapshotViewer).
+	SnapshotPins     int // distinct generations currently pinned
+	VersionsRetained int // superseded versions held for pinned snapshots
 }
 
 // Store is one shard's storage engine. See the package comment for the
@@ -181,6 +190,20 @@ type ScrubPass interface {
 type ScrubRunner interface {
 	NewScrubPass() ScrubPass
 	ChecksumsVerified() bool
+}
+
+// SnapshotViewer is the MVCC snapshot capability: OpenSnapshot pins the
+// store's current committed generation and returns a Snapshot whose
+// reads resolve at exactly that generation while commits proceed (the
+// backend preserves overwritten versions in its VersionBuffer for as
+// long as the pin is held). Backends that cannot provide this MUST NOT
+// implement the interface — the shard layer then fails snapshot
+// requests with ErrSnapshotUnsupported rather than silently serving
+// weaker consistency. Called from the owner goroutine only (the shard
+// worker serializes it with Apply so a pin never lands mid-batch);
+// Release is safe from any goroutine.
+type SnapshotViewer interface {
+	OpenSnapshot() (*Snapshot, error)
 }
 
 // Backend names.

@@ -19,14 +19,19 @@
 #                         handlers' goroutines behind the per-shard reader
 #                         gate. The report's server_stats must show
 #                         fast_gets > 0 (the fast path actually engaged).
-#   5. scan mix:          80% GET / 10% SCAN / 10% PUT against the fast
-#                         server; pglload verifies every SCAN response
-#                         client-side (ascending, duplicate-free, bound-
-#                         respecting) while the PUTs keep commits racing
-#                         the scan chunks. Gated on zero errors and on
-#                         the server's fast_scans > 0 (fast-path scans
-#                         actually engaged); scan_ops_per_sec lands in
-#                         compare.json as a trajectory, not a gate
+#   5. scan mix:          79% GET / 10% SCAN / 1% SNAPSCAN / 10% PUT
+#                         against the fast server; pglload verifies
+#                         every SCAN response client-side (ascending,
+#                         duplicate-free, bound-respecting) and pages
+#                         every SNAPSCAN to completion (same checks,
+#                         plus the pinned-window bound) while the PUTs
+#                         keep commits racing the scan chunks. Gated on
+#                         zero errors, on the server's fast_scans > 0
+#                         (fast-path scans actually engaged), and on
+#                         snap_scan_pairs > 0 (snapshot scans actually
+#                         returned pinned pages); scan_ops_per_sec and
+#                         snapshot_scan_ops_per_sec land in compare.json
+#                         as trajectories, not gates
 #   6. corruption healing: the server restarts with -scrub-interval, and
 #                         the scan mix reruns while pglload INJECTs
 #                         $FAULTS live faults (scribbles + media-error
@@ -61,18 +66,33 @@
 #                         counters land in compare.json as a recorded
 #                         trajectory, not a gate; both runs must be
 #                         error-free
-#   9. crash mid-batch:   a background batch load is still running when the
+#   9. backup/restore:    a BACKUP stream is taken while a background
+#                         batch load keeps committing, written to a
+#                         file, and replayed (-restore) into a FRESH
+#                         data directory; after the run every restored
+#                         shard snapshot must pass `pglpool check` and
+#                         the restored pair count must equal the backup
+#                         pair count — ROADMAP item 5's acceptance: a
+#                         backup under sustained writes restores to a
+#                         generation-consistent image. The backup
+#                         report's peak versions_retained lands in
+#                         compare.json (the version-buffer cost of
+#                         holding the image open)
+#  10. crash mid-batch:   a background batch load is still running when the
 #                         CRASH frame lands — with the scrubber still
 #                         interleaving steps — so shards die with batch
 #                         transactions in flight; every shard snapshot must
 #                         then pass `pglpool check`
 #
 # compare.json records per-op vs batch ops/sec (speedup), serial vs
-# fast read ops/sec (read_speedup), the scan phase's scan_ops_per_sec,
-# the corruption phase's scrub health (bg_repairs, scrub_steps,
-# scrub_backoffs, scrub_p99_ratio), and the pipeline sweep's
-# pipeline_speedup with both group-commit means; CI uploads it with the
-# phase reports.
+# fast read ops/sec (read_speedup), the scan phase's scan_ops_per_sec
+# and snapshot_scan_ops_per_sec (with snap_evictions — scans whose pin
+# the bounded version buffer evicted, the typed cap outcome), the
+# backup phase's pair count and peak versions_retained, the corruption
+# phase's scrub health (bg_repairs, scrub_steps, scrub_backoffs,
+# scrub_p99_ratio), the pipeline sweep's pipeline_speedup with both
+# group-commit means, and the logstore run's quarantined_segments; CI
+# uploads it with the phase reports and the backup artifacts.
 # MIN_SPEEDUP / MIN_READ_SPEEDUP fail the run when a ratio falls below
 # the bound (default 1.0 — the optimized path must never be slower; the
 # ISSUE-3 acceptance target for reads is 2.0, which holds on dedicated
@@ -159,9 +179,9 @@ start_server serve-fast
     -reads "$READ_FRAC" -dels 0.02 \
     | tee "$WORKDIR/load-read-fast.json"
 
-echo "# phase 5: scan mix (80% GET / 10% SCAN / 10% PUT), fast path" >&2
+echo "# phase 5: scan mix (79% GET / 10% SCAN / 1% SNAPSCAN / 10% PUT), fast path" >&2
 ./bin/pglload -addr "$ADDR" -clients "$READ_CLIENTS" -ops "$OPS" -seed 6 \
-    -reads 0.8 -scans 0.1 -dels 0 \
+    -reads 0.79 -scans 0.1 -snapscans 0.01 -dels 0 \
     | tee "$WORKDIR/load-scan.json"
 
 echo "# phase 6: corruption healing ($FAULTS live faults, scrubber every $SCRUB_INTERVAL)" >&2
@@ -171,7 +191,7 @@ start_server serve-scrub -scrub-interval "$SCRUB_INTERVAL"
 # pglload exits nonzero unless the background scrubber reports
 # bg_repairs > 0 after the injections — the corruption-healing gate.
 ./bin/pglload -addr "$ADDR" -clients "$READ_CLIENTS" -ops "$OPS" -seed 7 \
-    -reads 0.8 -scans 0.1 -dels 0 -faults "$FAULTS" \
+    -reads 0.79 -scans 0.1 -snapscans 0.01 -dels 0 -faults "$FAULTS" \
     | tee "$WORKDIR/load-scrub.json"
 
 echo "# phase 7: pipeline sweep (depth 1 vs $PIPE_DEPTH, $PIPE_CLIENTS connections)" >&2
@@ -206,7 +226,29 @@ start_server serve-ab-logstore -backend logstore -log-segment-bytes 65536 -scrub
     | tee "$WORKDIR/load-ab-logstore.json"
 SERVE_DIR="$WORKDIR/kvset"
 
-echo "# phase 9: crash while a batch load is in flight (scrubber still on)" >&2
+echo "# phase 9: backup under sustained writes, restore into a fresh set" >&2
+stop_server
+start_server serve-backup
+# The background load keeps group commits landing while the BACKUP
+# stream pins its snapshot and pages the whole keyspace; its client
+# errors when killed are expected and not gated.
+./bin/pglload -addr "$ADDR" -clients "$CLIENTS" -ops 10000000 -seed 13 -batch "$BATCH" \
+    >"$WORKDIR/load-backup-bg.json" 2>"$WORKDIR/load-backup-bg.log" &
+BK_PID=$!
+sleep 1
+./bin/pglload -addr "$ADDR" -backup "$WORKDIR/backup.bin" | tee "$WORKDIR/backup.json"
+kill "$BK_PID" 2>/dev/null || true
+wait "$BK_PID" 2>/dev/null || true
+stop_server
+# Replay the stream into a FRESH directory; the clean stop afterwards
+# syncs shard snapshots for the pglpool check below.
+SERVE_DIR="$WORKDIR/kvset-restore"
+start_server serve-restore
+./bin/pglload -addr "$ADDR" -restore "$WORKDIR/backup.bin" | tee "$WORKDIR/restore.json"
+stop_server
+SERVE_DIR="$WORKDIR/kvset"
+
+echo "# phase 10: crash while a batch load is in flight (scrubber still on)" >&2
 stop_server
 start_server serve-crash -scrub-interval "$SCRUB_INTERVAL"
 # The background load runs until the server dies under it; its client
@@ -233,6 +275,33 @@ for f in "$WORKDIR"/kvset/shard-*.pgl; do
         status=1
     fi
 done
+
+# The backup taken under sustained writes must restore completely
+# (every streamed pair replayed) into shards that pass pglpool check —
+# the generation-consistent-image acceptance of ROADMAP item 5.
+BACKUP_PAIRS=$(sed -n 's/.*"backup_pairs": \([0-9]*\),*.*/\1/p' "$WORKDIR/backup.json" | head -n 1)
+RESTORED_PAIRS=$(sed -n 's/.*"restored_pairs": \([0-9]*\),*.*/\1/p' "$WORKDIR/restore.json" | head -n 1)
+VERSIONS_RETAINED=$(sed -n 's/.*"versions_retained": \([0-9]*\),*.*/\1/p' "$WORKDIR/backup.json" | head -n 1)
+if [ "${BACKUP_PAIRS:-0}" = "0" ]; then
+    echo "loadtest: FAILED backup streamed no pairs" >&2
+    status=1
+elif [ "${BACKUP_PAIRS}" != "${RESTORED_PAIRS:-}" ]; then
+    echo "loadtest: FAILED restore replayed ${RESTORED_PAIRS:-0} of $BACKUP_PAIRS backup pairs" >&2
+    status=1
+fi
+RESTORE_CHECKED=0
+for f in "$WORKDIR"/kvset-restore/shard-*.pgl; do
+    [ -e "$f" ] || continue
+    if ! ./bin/pglpool check "$f"; then
+        echo "loadtest: FAILED pglpool check (restored from backup): $f" >&2
+        status=1
+    fi
+    RESTORE_CHECKED=$((RESTORE_CHECKED + 1))
+done
+if [ "$RESTORE_CHECKED" = 0 ]; then
+    echo "loadtest: FAILED no restored shard snapshots to check" >&2
+    status=1
+fi
 
 # Every measured phase must be error-free (scan errors include pglload's
 # client-side order/bounds verification of every SCAN response; scrub
@@ -263,6 +332,17 @@ fi
 FAST_SCANS=$(sed -n 's/.*"fast_scans": \([0-9]*\),.*/\1/p' "$WORKDIR/load-scan.json" | head -n 1)
 if [ "${FAST_SCANS:-0}" = "0" ]; then
     echo "loadtest: FAILED scan fast path never engaged (fast_scans=0)" >&2
+    status=1
+fi
+
+# The snapshot scans in the same mix must have returned pinned pages
+# (snap_scan_pairs > 0; their per-page order/bounds checks fold into the
+# phase's 0-errors gate above). Throughput is recorded, not gated.
+SNAPOPS=$(sed -n 's/.*"snapshot_scan_ops_per_sec": \([0-9.]*\),*.*/\1/p' "$WORKDIR/load-scan.json" | head -n 1)
+SNAPPAIRS=$(sed -n 's/.*"snap_scan_pairs": \([0-9]*\),.*/\1/p' "$WORKDIR/load-scan.json" | head -n 1)
+SNAPEVICT=$(sed -n 's/.*"snap_evictions": \([0-9]*\),.*/\1/p' "$WORKDIR/load-scan.json" | head -n 1)
+if [ "${SNAPPAIRS:-0}" = "0" ]; then
+    echo "loadtest: FAILED snapshot scans returned no pairs (snap_scan_pairs=0)" >&2
     status=1
 fi
 
@@ -311,6 +391,9 @@ ABPANGOLIN=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-ab-pa
 ABLOGSTORE=$(sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
 LOGSEGS=$(sed -n 's/.*"segments": \([0-9]*\),.*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
 LOGCOMPACTIONS=$(sed -n 's/.*"compactions": \([0-9]*\),.*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
+# Segments a corrupt-record merge abort parked: data held back from
+# compaction — an operator signal, recorded so a regression shows up.
+LOGQUAR=$(sed -n 's/.*"quarantined_segments": \([0-9]*\),*.*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
 awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEEDUP" \
     -v rs="${READSERIAL:-0}" -v rf="${READFAST:-0}" -v rfrac="$READ_FRAC" -v rmin="$MIN_READ_SPEEDUP" \
     -v fg="${FAST_GETS:-0}" -v so="${SCANOPS:-0}" -v sp="${SCANPAIRS:-0}" -v fs="${FAST_SCANS:-0}" \
@@ -319,7 +402,9 @@ awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEE
     -v p1="${PIPE1OPS:-0}" -v pd="${PIPEDEEPOPS:-0}" -v pdepth="$PIPE_DEPTH" \
     -v g1="${GBM1:-0}" -v gd="${GBMDEEP:-0}" \
     -v abp="${ABPANGOLIN:-0}" -v abl="${ABLOGSTORE:-0}" \
-    -v lsegs="${LOGSEGS:-0}" -v lcomp="${LOGCOMPACTIONS:-0}" 'BEGIN {
+    -v lsegs="${LOGSEGS:-0}" -v lcomp="${LOGCOMPACTIONS:-0}" \
+    -v sno="${SNAPOPS:-0}" -v snp="${SNAPPAIRS:-0}" -v sne="${SNAPEVICT:-0}" \
+    -v bpr="${BACKUP_PAIRS:-0}" -v vr="${VERSIONS_RETAINED:-0}" -v lq="${LOGQUAR:-0}" 'BEGIN {
     s = (p > 0) ? b / p : 0
     r = (rs > 0) ? rf / rs : 0
     p99r = (sp99 > 0) ? scp99 / sp99 : 0
@@ -329,11 +414,13 @@ awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEE
     printf "  \"per_op_ops_per_sec\": %.1f,\n  \"batch_ops_per_sec\": %.1f,\n  \"batch\": %d,\n  \"speedup\": %.2f,\n  \"min_speedup\": %.2f,\n", p, b, batch, s, min
     printf "  \"read_serial_ops_per_sec\": %.1f,\n  \"read_fast_ops_per_sec\": %.1f,\n  \"read_fraction\": %s,\n  \"fast_gets\": %d,\n  \"read_speedup\": %.2f,\n  \"min_read_speedup\": %.2f,\n", rs, rf, rfrac, fg, r, rmin
     printf "  \"scan_ops_per_sec\": %.1f,\n  \"scan_pairs\": %d,\n  \"fast_scans\": %d,\n", so, sp, fs
+    printf "  \"snapshot_scan_ops_per_sec\": %.1f,\n  \"snap_scan_pairs\": %d,\n  \"snap_evictions\": %d,\n", sno, snp, sne
+    printf "  \"backup_pairs\": %d,\n  \"versions_retained\": %d,\n", bpr, vr
     printf "  \"faults_injected\": %d,\n  \"bg_repairs\": %d,\n  \"scrub_steps\": %d,\n  \"scrub_backoffs\": %d,\n  \"scrub_p99_ratio\": %.2f,\n", fi, br, ss, sb, p99r
     printf "  \"pipe1_ops_per_sec\": %.1f,\n  \"pipe_deep_ops_per_sec\": %.1f,\n  \"pipe_depth\": %d,\n  \"pipeline_speedup\": %.2f,\n", p1, pd, pdepth, ps
     printf "  \"group_batch_mean_depth1\": %.2f,\n  \"group_batch_mean_deep\": %.2f,\n", g1, gd
     printf "  \"backend_pangolin_ops_per_sec\": %.1f,\n  \"backend_logstore_ops_per_sec\": %.1f,\n  \"backend_speedup\": %.2f,\n", abp, abl, bs
-    printf "  \"logstore_segments\": %d,\n  \"logstore_compactions\": %d\n", lsegs, lcomp
+    printf "  \"logstore_segments\": %d,\n  \"logstore_compactions\": %d,\n  \"logstore_quarantined\": %d\n", lsegs, lcomp, lq
     printf "}\n"
     exit !(s >= min && r >= rmin)
 }' | tee "$WORKDIR/compare.json" || {

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// Backup streams a snapshot-consistent image of the whole keyspace from
+// the server at addr, calling fn for every pair; fn returning false
+// stops the stream early (the connection is simply dropped, which
+// releases the server-side pins). The server pins one generation per
+// shard when the request arrives, so the image is exactly the set's
+// committed state at that moment — a backup taken under sustained
+// writes restores to one consistent state, not a smear of mid-backup
+// commits.
+//
+// BACKUP is a multi-frame streaming op, which the pipelined Client's
+// one-reply-per-request matching cannot carry; Backup therefore speaks
+// the v1 protocol on a dedicated connection it dials and closes itself.
+// Server-side failures arrive as typed errors (ErrSnapshotUnsupported
+// when a shard backend cannot snapshot, ErrSnapshotTooOld when the pins
+// were evicted mid-stream); either way the stream ends with the error,
+// never with a silently truncated image. ctx bounds the whole stream.
+func Backup(ctx context.Context, addr string, fn func(k, v uint64) bool) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	bw := bufio.NewWriter(conn)
+	payload, err := EncodeRequest(nil, Request{Op: OpBackup})
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(bw, payload); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		frame, err := ReadFrame(br, buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("server: backup stream: %w", ctx.Err())
+			}
+			return fmt.Errorf("server: backup stream: %w", err)
+		}
+		buf = frame
+		if len(frame) < 1 {
+			return fmt.Errorf("server: empty backup frame")
+		}
+		if frame[0] != StatusOK {
+			return statusError(frame[0], frame[1:])
+		}
+		if len(frame) < 2 || (len(frame)-2)%16 != 0 {
+			return fmt.Errorf("server: backup frame of %d bytes", len(frame))
+		}
+		for off := 2; off < len(frame); off += 16 {
+			k := binary.BigEndian.Uint64(frame[off:])
+			v := binary.BigEndian.Uint64(frame[off+8:])
+			if !fn(k, v) {
+				return nil
+			}
+		}
+		if frame[1] == 0 {
+			return nil
+		}
+	}
+}

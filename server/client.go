@@ -681,9 +681,14 @@ func (c *Client) MDel(keys []uint64) ([]bool, error) {
 // order, resuming from cursor (pass 0 to start at lo, then the returned
 // next while more is true). limit 0 (or beyond MaxScanPairs) asks for a
 // full MaxScanPairs frame. Consistency is per server-side chunk — each
-// chunk is a committed image of its shard, but a paginated scan is not a
-// point-in-time snapshot across pages or shards (see the package
-// documentation).
+// chunk is a committed image of its shard, but a paginated live scan
+// spans chunks and shards without pinning anything, so later pages see
+// later commits. When every page must observe one committed state, use
+// SnapScan, which pins a server-side snapshot for the scan's lifetime
+// (see the package documentation). Do not feed a SnapScanner's cursor
+// here: the two modes promise different consistency, which is why the
+// snapshot cursor lives inside the scanner rather than in a value this
+// method accepts.
 func (c *Client) Scan(lo, hi uint64, limit int, cursor uint64) (pairs []Pair, next uint64, more bool, err error) {
 	status, body, err := c.call(context.Background(), Request{
 		Op: OpScan, Key: lo, Val: hi, Limit: uint64(limit), Cursor: cursor,
@@ -726,6 +731,84 @@ func (c *Client) ScanAll(lo, hi uint64, fn func(k, v uint64) bool) error {
 	}
 }
 
+// SnapScanner pages one snapshot-consistent scan: the first Next opens
+// a server-side snapshot (pinning every shard's current generation) and
+// every later Next continues it, so all pages together observe exactly
+// one committed state of the set no matter how many commits land while
+// the scan pages. The scanner owns its snapshot id and cursor — there
+// is deliberately no way to extract the cursor into a live Scan or to
+// seed a scanner from a live scan's cursor, so the two consistency
+// modes cannot be mixed by construction; the server enforces the same
+// contract with ErrCursorMode for hand-rolled frames.
+//
+// The snapshot's pins release when the scan completes (the server drops
+// them with the terminal page) or the connection closes; an abandoned
+// scanner holds its pins until then, and at most MaxConnSnapshots
+// scanners can be open per connection. A scanner whose pinned
+// generation the server evicted (version-buffer caps) fails with
+// ErrSnapshotTooOld — reopen and rescan, never resume mixed.
+//
+// Use from one goroutine; the underlying Client stays safe for
+// concurrent use by others.
+type SnapScanner struct {
+	c      *Client
+	lo, hi uint64
+	snapID uint64
+	cursor uint64
+	done   bool
+	err    error
+}
+
+// SnapScan starts a snapshot-consistent scan of [lo, hi]. The snapshot
+// is not pinned until the first Next call.
+func (c *Client) SnapScan(lo, hi uint64) *SnapScanner {
+	return &SnapScanner{c: c, lo: lo, hi: hi}
+}
+
+// Next fetches the scan's next page of up to limit pairs (0 or beyond
+// MaxScanPairs asks for a full frame), in ascending key order. It
+// returns nil once the range is exhausted; a failed scanner keeps
+// returning its error.
+func (sc *SnapScanner) Next(limit int) ([]Pair, error) {
+	if sc.err != nil {
+		return nil, sc.err
+	}
+	if sc.done {
+		return nil, nil
+	}
+	lo := sc.lo
+	if sc.cursor > lo {
+		lo = sc.cursor
+	}
+	status, body, err := sc.c.call(context.Background(), Request{
+		Op: OpSnapScan, Key: lo, Val: sc.hi, Limit: uint64(limit), Cursor: sc.cursor, SnapID: sc.snapID,
+	})
+	if err != nil {
+		sc.err = err
+		return nil, err
+	}
+	if status != StatusOK || len(body) < 17 || (len(body)-17)%16 != 0 {
+		sc.err = fmt.Errorf("server: SNAPSCAN response status %d, body %d bytes", status, len(body))
+		return nil, sc.err
+	}
+	sc.snapID = binary.BigEndian.Uint64(body)
+	more := body[8] == 1
+	sc.cursor = binary.BigEndian.Uint64(body[9:])
+	n := (len(body) - 17) / 16
+	pairs := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		rec := body[17+i*16:]
+		pairs[i] = Pair{K: binary.BigEndian.Uint64(rec), V: binary.BigEndian.Uint64(rec[8:])}
+	}
+	if !more {
+		sc.done = true // the server released the snapshot with this page
+	}
+	return pairs, nil
+}
+
+// Done reports whether the scan has exhausted its range.
+func (sc *SnapScanner) Done() bool { return sc.done }
+
 // Scrub reads the server's maintenance health and, when run is set,
 // first triggers a full scrubbing pass across every shard and waits for
 // it. The pass executes as bounded incremental steps interleaved with
@@ -748,21 +831,37 @@ func (c *Client) Scrub(run bool) (ScrubStatus, error) {
 	return st, nil
 }
 
+// InjectReport is an INJECT reply: how many objects were corrupted, and
+// the per-shard capability picture that makes a zero count
+// interpretable — CapableShards == 0 means no shard backend carries the
+// injection hook at all (log shards have no redundancy to heal with),
+// so retrying with fresh seeds is futile; CapableShards > 0 with
+// Injected == 0 means the capable shards simply held nothing live yet.
+type InjectReport struct {
+	Injected      uint64 // objects actually corrupted
+	CapableShards uint64 // shards whose backend implements fault injection
+	TotalShards   uint64 // shards in the set
+}
+
 // Inject asks the server to corrupt count pseudo-randomly chosen live
 // objects across the shards (scribbles and media-error poison,
 // alternating by seed) — the fault-injection hook behind the loadtest's
-// corruption-healing phase. It returns how many objects were actually
-// corrupted. Like CRASH, this is a test harness op, not a production
-// verb.
-func (c *Client) Inject(seed int64, count int) (uint64, error) {
+// corruption-healing phase. The report says how many objects were
+// corrupted and how many shards could inject at all. Like CRASH, this
+// is a test harness op, not a production verb.
+func (c *Client) Inject(seed int64, count int) (InjectReport, error) {
 	status, body, err := c.call(context.Background(), Request{Op: OpInject, Key: uint64(seed), Val: uint64(count)})
 	if err != nil {
-		return 0, err
+		return InjectReport{}, err
 	}
-	if status != StatusOK || len(body) != 8 {
-		return 0, fmt.Errorf("server: INJECT response status %d, body %d bytes", status, len(body))
+	if status != StatusOK || len(body) != 24 {
+		return InjectReport{}, fmt.Errorf("server: INJECT response status %d, body %d bytes", status, len(body))
 	}
-	return binary.BigEndian.Uint64(body), nil
+	return InjectReport{
+		Injected:      binary.BigEndian.Uint64(body),
+		CapableShards: binary.BigEndian.Uint64(body[8:]),
+		TotalShards:   binary.BigEndian.Uint64(body[16:]),
+	}, nil
 }
 
 // Stats fetches the server's shard statistics.

@@ -86,14 +86,17 @@
 // hits a fault needing repair. STATS reports fast_scans/fast_scan_pairs
 // vs scans/scan_pairs, plus scan_fallbacks/scan_faults by cause.
 //
-// Consistency is stated honestly: per-chunk commit-consistency, not a
-// point-in-time snapshot. Every chunk observes a single committed image
-// of its shard (commits are excluded while the chunk runs, so no torn
-// pairs and no uncommitted values), but a scan that spans several
-// chunks, pages, or shards composes images taken at different moments:
-// a pair committed behind the cursor after its chunk ran is missed, and
-// a pair committed ahead of the cursor appears. Applications needing a
-// frozen view should scan a quiesced store.
+// SCAN's consistency is per-chunk commit-consistency: every chunk
+// observes a single committed image of its shard (commits are excluded
+// while the chunk runs, so no torn pairs and no uncommitted values),
+// but a scan that spans several chunks, pages, or shards composes
+// images taken at different moments — a pair committed behind the
+// cursor after its chunk ran is missed, and a pair committed ahead of
+// the cursor appears. When the whole scan must observe exactly one
+// committed state while writes proceed, use SNAPSCAN (or BACKUP for a
+// full-pool stream): it pins a generation per shard at open and every
+// page resolves at those generations — see "Snapshots and backup"
+// below.
 //
 // A SCAN request carries lo, hi, limit, cursor; the scan starts at
 // max(lo, cursor) — pass cursor 0 to start a fresh scan — and returns
@@ -114,6 +117,61 @@
 // shards commit concurrently, and there is no atomicity across shards.
 // Ops for one key always land on one shard, so per-key ordering within a
 // batch is preserved.
+//
+// # Snapshots and backup
+//
+// SNAPSCAN (op 14) and BACKUP (op 15) read one committed state of the
+// whole set while group commits proceed. Opening a snapshot pins every
+// shard's current committed generation — each pin is serialized onto
+// its shard's worker, so it lands between group commits, never inside
+// one — and the pins together form the set-level snapshot vector. From
+// then on the shard's engine preserves the pre-image of every object a
+// commit overwrites in a bounded per-shard version buffer, and every
+// snapshot read resolves at exactly the pinned generation: superseded
+// versions win over live bytes, keys inserted after the pin are masked
+// out, keys deleted after the pin are restored. A paginated SNAPSCAN or
+// a BACKUP stream therefore sees one state end to end, no matter how
+// many commits land while it pages.
+//
+// The contract's edges are typed, never silent:
+//
+//   - Pin lifetime. A SNAPSCAN's pins are held by the connection: the
+//     terminal page (more = 0) releases them, and closing the
+//     connection releases whatever is still open — an abandoned scan
+//     cannot leak pins past its connection. A connection holds at most
+//     MaxConnSnapshots (4) snapshots at once; further opens are
+//     refused until one finishes. BACKUP owns its snapshot internally
+//     and releases it when the stream ends, either way.
+//   - Bounded retention. Preserved versions cost memory on the write
+//     path, so each shard caps them (store.DefaultMaxPins distinct
+//     pinned generations, store.DefaultMaxVersions preserved
+//     versions); the oldest pin is evicted past a cap. Reads of an
+//     evicted — or released — snapshot fail with SNAP_TOO_OLD
+//     (ErrSnapshotTooOld via errors.Is): reopen and rescan, never a
+//     page of mixed-generation data.
+//   - Capability. A backend that cannot preserve versions must not
+//     pretend: opening a snapshot over a set with any
+//     snapshot-incapable shard fails whole with SNAP_UNSUPPORTED
+//     (ErrSnapshotUnsupported), releasing any pins already taken,
+//     rather than pinning some shards and silently reading the rest
+//     live. Both in-repo backends (pangolin, logstore) implement the
+//     capability.
+//   - Cursor modes. A snapshot cursor continues its snapshot (the
+//     request carries the snapshot id the first page returned); a live
+//     SCAN cursor continues a live scan. Presenting a continuation
+//     cursor without its snapshot id, or an id nobody opened, is
+//     refused with CURSOR_MODE (ErrCursorMode) — the two modes promise
+//     different consistency, so a page never silently continues in the
+//     other one. The Client's SnapScanner makes the mix impossible by
+//     construction: it owns its snapshot id and cursor privately.
+//
+// STATS accounts for the machinery: snap_scans/snap_scan_pairs count
+// snapshot reads per shard, and the gauges snapshot_pins and
+// versions_retained expose the live cost of open pins, so an operator
+// can see a leaked or long-lived snapshot as a versions_retained
+// plateau. scripts/loadtest.sh gates on the whole path: a BACKUP taken
+// under sustained writes is restored into a fresh set and must pass
+// `pglpool check`.
 //
 // # Background maintenance (online scrubbing)
 //
@@ -158,10 +216,13 @@
 // server mixes both. Reopening a directory rediscovers every shard's
 // backend from its on-disk form; no flag is consulted. The wire
 // protocol is backend-agnostic — the same verbs run against either —
-// but capability edges show through honestly: INJECT returns 0 from
-// log shards (no fault-injection layer beneath them), and a log
-// shard's scrub step is a CRC verify sweep or a compaction merge
-// rather than a parity repair. STATS carries the per-shard "backend"
+// but capability edges show through honestly: INJECT's reply counts
+// the injection-capable shards alongside the injected faults (log
+// shards have no fault-injection layer beneath them, so a pglload
+// -faults run against an all-log set fails fast instead of timing out
+// on a heal gate that can never pass), and a log shard's scrub step is
+// a CRC verify sweep or a compaction merge rather than a parity
+// repair. STATS carries the per-shard "backend"
 // name, the set-level "backends" list, and the log engine's counters
 // (segments, compactions, merged_records, dead_records), so an
 // operator — or the loadtest's A/B phase, via pglload -backend — can
@@ -230,6 +291,11 @@
 //	                               (fault-injection test hook, like CRASH)
 //	HELLO (13) magic version window  first frame only: negotiate v2 with a
 //	                               requested in-flight window (0 = default)
+//	SNAPSCAN (14) lo hi limit cursor snapid  snapshot-consistent scan page;
+//	                               snapid 0 + cursor 0 opens a snapshot,
+//	                               later pages carry the returned snapid
+//	BACKUP (15) —                  v1 only: stream every pair of one
+//	                               pinned snapshot as multiple frames
 //
 // Batch ops carry no explicit count — the frame length delimits them — but
 // the payload must be a whole number of ops, at least 1 and at most
@@ -248,7 +314,17 @@
 //	               at most MaxScanPairs pairs per frame, ascending,
 //	               N = (len-10)/16;
 //	               SCRUB → JSON (server.ScrubStatus);
-//	               INJECT → injected-count(uint64 BE)
+//	               INJECT → injected(uint64 BE) capable-shards(uint64 BE)
+//	                        total-shards(uint64 BE);
+//	               SNAPSCAN → snapid(uint64 BE) more(1 B)
+//	                          next-cursor(uint64 BE)
+//	                          (key(uint64 BE) value(uint64 BE))*,
+//	                          the terminal page (more 0) releases the
+//	                          snapshot;
+//	               BACKUP → a SEQUENCE of frames, each
+//	                        status(1 B) more(1 B)
+//	                        (key(uint64 BE) value(uint64 BE))*,
+//	                        ending with more 0 (or a non-OK status frame)
 //	NOT_FOUND (1)  GET or DEL of an absent key; empty body
 //	ERR       (2)  body is a UTF-8 error message
 //	CORRUPT   (3)  v2 only: the op failed on detected, unrepaired
@@ -256,13 +332,22 @@
 //	POISON    (4)  v2 only: the op failed on a media error
 //	               (pangolin.IsPoison server-side)
 //	SHUTDOWN  (5)  v2 only: the shard set is shutting down
+//	SNAP_TOO_OLD     (6)  the snapshot's pinned generation was evicted
+//	                      or released (ErrSnapshotTooOld)
+//	SNAP_UNSUPPORTED (7)  a shard backend lacks the snapshot capability
+//	                      (ErrSnapshotUnsupported)
+//	CURSOR_MODE      (8)  cursor presented to the wrong scan mode
+//	                      (ErrCursorMode)
 //
 // v1 connections collapse every failure to ERR — the statuses old
 // clients understand — while v2 classifies them so the client rebuilds
 // the in-process error taxonomy across the network: errors.Is(err,
 // ErrShuttingDown), pangolin.IsCorruption(err), and
 // pangolin.IsPoison(err) hold on a Client exactly as they would
-// in-process. The body is a UTF-8 message for every status >= ERR.
+// in-process. The snapshot statuses (6-8) belong to ops newer than the
+// version split, so they are used on BOTH protocol versions — there is
+// no older client to protect. The body is a UTF-8 message for every
+// status >= ERR.
 //
 // Batch responses answer every op: records are in request order, one per
 // op, each carrying a per-op status — 0 (OK), 1 (not found: MGET/MDEL of
@@ -303,8 +388,10 @@
 //     one connection can have operations queued on every shard at
 //     once — this is what multiplies group-commit depth); GET runs the
 //     concurrent verified-read fast path inline, falling back to the
-//     worker queue; the multi-shard verbs (batches, SCAN, STATS, SYNC,
-//     SCRUB, INJECT, CRASH) each run on their own bounded goroutine;
+//     worker queue; the multi-shard verbs (batches, SCAN, SNAPSCAN,
+//     STATS, SYNC, SCRUB, INJECT, CRASH) each run on their own bounded
+//     goroutine (BACKUP streams multiple frames, which one-reply-per-
+//     sequence cannot carry, so it remains v1-only);
 //   - a writer goroutine streams completed replies to the wire in
 //     completion order, flushing when the queue goes empty, so replies
 //     coalesce into few syscalls under load.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/pangolin-go/pangolin"
 	"github.com/pangolin-go/pangolin/internal/shard"
+	"github.com/pangolin-go/pangolin/internal/store"
 )
 
 // ErrClientClosed reports use of a Client after Close. In-flight
@@ -25,6 +26,27 @@ var ErrNotFound = errors.New("server: key not found")
 // resolves — to a reply or to a typed error like this one — never to a
 // silent drop. Compare with errors.Is.
 var ErrShuttingDown = shard.ErrShuttingDown
+
+// ErrSnapshotTooOld reports a snapshot scan (or backup) whose pinned
+// generation was evicted on the server — the snapshot outlived the
+// version buffer's pin or retention caps, or was invalidated — so its
+// pages can no longer be proven consistent. Reopen and rescan. Compare
+// with errors.Is.
+var ErrSnapshotTooOld = store.ErrSnapshotTooOld
+
+// ErrSnapshotUnsupported reports that a shard backend on the server
+// lacks the MVCC snapshot capability. The server refuses the snapshot
+// outright instead of silently serving per-chunk consistency where
+// one committed state was asked for. Compare with errors.Is.
+var ErrSnapshotUnsupported = store.ErrSnapshotUnsupported
+
+// ErrCursorMode reports a cursor presented to the wrong scan mode: a
+// snapshot continuation without its snapshot id, a snapshot id nobody
+// opened, or (client-side, by construction) a snapshot scanner's cursor
+// fed to a live Scan. The two modes promise different consistency, so a
+// page must never silently continue in the other one. Compare with
+// errors.Is.
+var ErrCursorMode = errors.New("server: cursor does not belong to this scan mode")
 
 // remoteError is a server-reported failure rebuilt on the client side:
 // the message is the server's, and the cause restores the typed error
@@ -47,6 +69,12 @@ func errStatus(err error) uint8 {
 	switch {
 	case errors.Is(err, shard.ErrShuttingDown):
 		return StatusShutdown
+	case errors.Is(err, store.ErrSnapshotTooOld):
+		return StatusSnapTooOld
+	case errors.Is(err, store.ErrSnapshotUnsupported):
+		return StatusSnapUnsupported
+	case errors.Is(err, ErrCursorMode):
+		return StatusCursorMode
 	case pangolin.IsCorruption(err):
 		return StatusCorrupt
 	case pangolin.IsPoison(err):
@@ -68,6 +96,12 @@ func statusError(status uint8, body []byte) error {
 		return ErrNotFound
 	case StatusShutdown:
 		return &remoteError{msg: fmt.Sprintf("server: %s", body), cause: ErrShuttingDown}
+	case StatusSnapTooOld:
+		return &remoteError{msg: fmt.Sprintf("server: %s", body), cause: ErrSnapshotTooOld}
+	case StatusSnapUnsupported:
+		return &remoteError{msg: fmt.Sprintf("server: %s", body), cause: ErrSnapshotUnsupported}
+	case StatusCursorMode:
+		return &remoteError{msg: fmt.Sprintf("server: %s", body), cause: ErrCursorMode}
 	case StatusCorrupt:
 		return &remoteError{msg: fmt.Sprintf("server: %s", body), cause: &pangolin.CorruptionError{Reason: "reported by server"}}
 	case StatusPoison:

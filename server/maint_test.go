@@ -53,12 +53,15 @@ func TestScrubOpEndToEnd(t *testing.T) {
 		t.Fatal("mode-0 SCRUB claimed to have run a pass")
 	}
 
-	injected, err := c.Inject(2, 6) // mixed seeds: scribbles + poison
+	rep, err := c.Inject(2, 6) // mixed seeds: scribbles + poison
 	if err != nil {
 		t.Fatal(err)
 	}
-	if injected == 0 {
+	if rep.Injected == 0 {
 		t.Fatal("INJECT corrupted nothing on a populated store")
+	}
+	if rep.CapableShards == 0 || rep.CapableShards > rep.TotalShards {
+		t.Fatalf("INJECT capability counts implausible: %+v", rep)
 	}
 
 	st, err = c.Scrub(true)
@@ -69,7 +72,7 @@ func TestScrubOpEndToEnd(t *testing.T) {
 		t.Fatal("mode-1 SCRUB did not run")
 	}
 	if st.Report.Fixed() == 0 {
-		t.Fatalf("pass repaired nothing after %d injections: %+v", injected, st.Report)
+		t.Fatalf("pass repaired nothing after %d injections: %+v", rep.Injected, st.Report)
 	}
 	if st.Report.Unrecovered != 0 {
 		t.Fatalf("injected faults unrecoverable: %+v", st.Report)

@@ -38,8 +38,19 @@ const (
 	OpMDel   uint8 = 9  // N keys → N status bytes
 	OpScan   uint8 = 10 // lo, hi, limit, cursor → more, next-cursor, (key value)*
 	OpScrub  uint8 = 11 // mode (0 health only, 1 run a full pass) → JSON body
-	OpInject uint8 = 12 // seed, count → injected count (fault-injection test hook)
+	OpInject uint8 = 12 // seed, count → injected, capable, total (fault-injection test hook)
 	OpHello  uint8 = 13 // magic, version, window → negotiate protocol v2
+	// OpSnapScan is OpScan at a pinned generation: the first page (snapid
+	// 0, cursor 0) opens a connection-owned snapshot and the reply names
+	// it; continuations carry that snapid with the reply's next-cursor.
+	// Every page of one snapid observes the same committed state. A
+	// continuation without its snapid is a cursor-mode violation
+	// (StatusCursorMode), never a silently-live page.
+	OpSnapScan uint8 = 14 // lo, hi, limit, cursor, snapid → snapid, more, next-cursor, (key value)*
+	// OpBackup streams the whole keyspace at one pinned snapshot as a
+	// multi-frame response; v1 connections only (the v2 one-reply-per-seq
+	// contract cannot carry a stream).
+	OpBackup uint8 = 15 // → (status, more, (key value)*)* frames
 )
 
 // HelloMagic guards HELLO frames against a v1 client whose first request
@@ -88,7 +99,25 @@ const (
 	StatusCorrupt  uint8 = 3 // v2: pangolin.IsCorruption on the server side
 	StatusPoison   uint8 = 4 // v2: pangolin.IsPoison on the server side
 	StatusShutdown uint8 = 5 // v2: the shard set is shutting down
+	// Snapshot statuses, used on both protocol versions (the ops that
+	// produce them postdate v1 clients, so there is no old decoder to
+	// protect). SnapTooOld: the pinned generation was evicted (caps,
+	// release, engine invalidation) — reopen and rescan. SnapUnsupported:
+	// a shard backend lacks the snapshot capability; the server refuses
+	// rather than silently serving a weaker scan. CursorMode: a cursor
+	// was presented to the wrong scan mode (a snapshot continuation
+	// without its snapid, or a snapid nobody opened).
+	StatusSnapTooOld      uint8 = 6
+	StatusSnapUnsupported uint8 = 7
+	StatusCursorMode      uint8 = 8
 )
+
+// MaxConnSnapshots caps the snapshots one connection may hold open at
+// once. Each open snapshot pins a generation on every shard (pre-images
+// of overwritten objects accumulate until release), so the cap bounds
+// what one client can make the write path retain; a dropped connection
+// releases all of its pins.
+const MaxConnSnapshots = 4
 
 // MaxFrame bounds a frame payload; stats JSON for even thousands of shards
 // stays far below it, so anything larger is a corrupt or hostile stream.
@@ -143,16 +172,17 @@ func appendU64(b []byte, v uint64) []byte {
 type Request struct {
 	Op     uint8
 	Key    uint64
-	Val    uint64   // OpPut value; OpScan hi bound
-	Limit  uint64   // OpScan only: max pairs in the response
-	Cursor uint64   // OpScan only: resume key (0 on a fresh scan)
+	Val    uint64   // OpPut value; OpScan/OpSnapScan hi bound
+	Limit  uint64   // OpScan/OpSnapScan only: max pairs in the response
+	Cursor uint64   // OpScan/OpSnapScan only: resume key (0 on a fresh scan)
+	SnapID uint64   // OpSnapScan only: 0 opens a snapshot, else continues one
 	Keys   []uint64 // OpMGet, OpMPut, OpMDel
 	Vals   []uint64 // OpMPut only
 }
 
 // fields returns the fixed uint64 fields an op carries, in wire order.
-func (r *Request) fields() [4]*uint64 {
-	return [4]*uint64{&r.Key, &r.Val, &r.Limit, &r.Cursor}
+func (r *Request) fields() [5]*uint64 {
+	return [5]*uint64{&r.Key, &r.Val, &r.Limit, &r.Cursor, &r.SnapID}
 }
 
 // fieldCount returns how many uint64 fields a fixed-shape op carries, or
@@ -163,7 +193,7 @@ func fieldCount(op uint8) (int, error) {
 		return 1, nil
 	case OpPut:
 		return 2, nil
-	case OpStats, OpSync:
+	case OpStats, OpSync, OpBackup:
 		return 0, nil
 	case OpCrash, OpScrub:
 		return 1, nil
@@ -173,6 +203,8 @@ func fieldCount(op uint8) (int, error) {
 		return 3, nil // magic, version, window
 	case OpScan:
 		return 4, nil
+	case OpSnapScan:
+		return 5, nil // lo, hi, limit, cursor, snapid
 	case OpMGet, OpMPut, OpMDel:
 		return -1, nil
 	default:

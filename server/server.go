@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -150,6 +151,64 @@ func (s *Server) Shutdown() {
 // completing the simulated machine death.
 func (s *Server) Crashed() <-chan struct{} { return s.crashed }
 
+// connSnaps is one connection's open-snapshot table: the SNAPSCAN ids
+// this connection may continue, capped at MaxConnSnapshots so one
+// client cannot pin unbounded version history. The table is the pin's
+// lifetime bound — releaseAll runs when the connection ends (clean or
+// dropped), so an abandoned paginated scan never leaks its pins past
+// the connection.
+type connSnaps struct {
+	mu    sync.Mutex
+	next  uint64
+	snaps map[uint64]*shard.SetSnapshot
+}
+
+// add registers an opened snapshot, or fails at the cap (the caller
+// releases the snapshot it could not register).
+func (cs *connSnaps) add(sn *shard.SetSnapshot) (uint64, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.snaps) >= MaxConnSnapshots {
+		return 0, fmt.Errorf("server: connection already holds %d open snapshots (finish or abandon one first)", MaxConnSnapshots)
+	}
+	if cs.snaps == nil {
+		cs.snaps = make(map[uint64]*shard.SetSnapshot)
+	}
+	cs.next++
+	cs.snaps[cs.next] = sn
+	return cs.next, nil
+}
+
+// get looks a continuation's snapshot up; nil when the id was never
+// assigned or already released.
+func (cs *connSnaps) get(id uint64) *shard.SetSnapshot {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.snaps[id]
+}
+
+// remove drops and releases one snapshot (idempotent).
+func (cs *connSnaps) remove(id uint64) {
+	cs.mu.Lock()
+	sn := cs.snaps[id]
+	delete(cs.snaps, id)
+	cs.mu.Unlock()
+	if sn != nil {
+		sn.Release()
+	}
+}
+
+// releaseAll drops every pin the connection still holds.
+func (cs *connSnaps) releaseAll() {
+	cs.mu.Lock()
+	snaps := cs.snaps
+	cs.snaps = nil
+	cs.mu.Unlock()
+	for _, sn := range snaps {
+		sn.Release()
+	}
+}
+
 // serveConn handles one connection. The first frame selects the
 // protocol: a HELLO switches the connection to the pipelined v2 loop
 // (sequence-numbered frames, out-of-order completion); anything else is
@@ -157,6 +216,8 @@ func (s *Server) Crashed() <-chan struct{} { return s.crashed }
 // as the degenerate case so old clients keep working unchanged.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	cs := &connSnaps{}
+	defer cs.releaseAll() // dropped connections release their pins
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	first, err := ReadFrame(br, nil)
@@ -164,22 +225,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		return // EOF or broken conn; nothing to answer
 	}
 	if version, window, ok := DecodeHello(first); ok {
-		s.servePipelined(br, bw, version, window)
+		s.servePipelined(br, bw, version, window, cs)
 		return
 	}
-	s.serveV1(br, bw, first)
+	s.serveV1(br, bw, first, cs)
 }
 
 // serveV1 runs the in-order request loop: decode, execute, reply, one
 // request at a time. first is the already-read opening frame. Requests
 // on a v1 connection are answered in order; concurrency comes from
 // concurrent connections.
-func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, first []byte) {
+func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, first []byte, cs *connSnaps) {
 	in := first
 	var out []byte
 	for {
+		if len(in) > 0 && in[0] == OpBackup {
+			// BACKUP streams multiple frames, which only the v1 loop's
+			// direct writer access can carry; it owns the connection until
+			// the terminal frame.
+			if err := s.handleBackup(bw, in); err != nil {
+				return
+			}
+			payload, err := ReadFrame(br, in)
+			if err != nil {
+				return
+			}
+			in = payload
+			continue
+		}
 		var crashed bool
-		out, crashed = s.handle(out[:0], in)
+		out, crashed = s.handle(out[:0], in, cs)
 		if err := WriteFrame(bw, out); err != nil {
 			return
 		}
@@ -284,7 +359,7 @@ func (pc *pipeConn) writeLoop(bw *bufio.Writer, done chan struct{}) {
 // the per-connection completion memory. On connection loss or server
 // shutdown every dispatched op still resolves (the writer drains what
 // it cannot send), so no completion callback is ever left dangling.
-func (s *Server) servePipelined(br *bufio.Reader, bw *bufio.Writer, version, reqWindow uint64) {
+func (s *Server) servePipelined(br *bufio.Reader, bw *bufio.Writer, version, reqWindow uint64, cs *connSnaps) {
 	if version != ProtocolV2 {
 		resp := EncodeResponse(nil, StatusErr, []byte(fmt.Sprintf("server: unsupported protocol version %d", version)))
 		if WriteFrame(bw, resp) == nil {
@@ -324,7 +399,7 @@ func (s *Server) servePipelined(br *bufio.Reader, bw *bufio.Writer, version, req
 			pc.complete(seq, StatusErr, []byte(err.Error()))
 			continue
 		}
-		s.dispatch(pc, seq, req)
+		s.dispatch(pc, seq, req, cs)
 	}
 	// No more requests (EOF, broken conn, or corrupt stream). Every
 	// dispatched op still completes; wait for them, then let the writer
@@ -342,7 +417,7 @@ func (s *Server) servePipelined(br *bufio.Reader, bw *bufio.Writer, version, req
 // handler goroutine, falling back to the queue. The remaining verbs
 // block on multi-shard fan-outs, so each runs on its own goroutine,
 // bounded by the in-flight window.
-func (s *Server) dispatch(pc *pipeConn, seq uint64, req Request) {
+func (s *Server) dispatch(pc *pipeConn, seq uint64, req Request, cs *connSnaps) {
 	switch req.Op {
 	case OpGet:
 		s.set.SubmitGet(req.Key, func(r shard.BatchResult) {
@@ -378,7 +453,7 @@ func (s *Server) dispatch(pc *pipeConn, seq uint64, req Request) {
 		})
 	default:
 		go func() {
-			out, crashed := s.handleReq(nil, req, true)
+			out, crashed := s.handleReq(nil, req, true, cs)
 			pc.completeRaw(seq, out, crashed)
 		}()
 	}
@@ -388,19 +463,19 @@ func (s *Server) dispatch(pc *pipeConn, seq uint64, req Request) {
 // payload to out. The second result reports that this request was a
 // successful OpCrash, which the connection loop announces after
 // flushing.
-func (s *Server) handle(out, payload []byte) ([]byte, bool) {
+func (s *Server) handle(out, payload []byte, cs *connSnaps) ([]byte, bool) {
 	req, err := DecodeRequest(payload)
 	if err != nil {
 		return EncodeResponse(out, StatusErr, []byte(err.Error())), false
 	}
-	return s.handleReq(out, req, false)
+	return s.handleReq(out, req, false, cs)
 }
 
 // handleReq executes one decoded request. typed selects the v2 failure
 // statuses (shutdown/corruption/poison classified for the client's
 // typed-error mapping); v1 connections collapse every failure to
 // StatusErr, which old clients understand.
-func (s *Server) handleReq(out []byte, req Request, typed bool) ([]byte, bool) {
+func (s *Server) handleReq(out []byte, req Request, typed bool, cs *connSnaps) ([]byte, bool) {
 	fail := func(err error) []byte {
 		status := StatusErr
 		if typed {
@@ -438,15 +513,30 @@ func (s *Server) handleReq(out []byte, req Request, typed bool) ([]byte, bool) {
 		return s.handleBatch(out, req), false
 	case OpScan:
 		return s.handleScan(out, req, fail), false
+	case OpSnapScan:
+		// New op, so every failure uses the typed statuses on both
+		// protocol versions — no pre-existing v1 decoder to protect.
+		return s.handleSnapScan(out, req, cs), false
+	case OpBackup:
+		// The v1 loop intercepts BACKUP before handleReq; reaching it here
+		// means a v2 connection asked, whose one-reply-per-sequence
+		// contract cannot carry a multi-frame stream.
+		return EncodeResponse(out, StatusErr, []byte("server: BACKUP streams multiple frames and requires a v1 connection")), false
 	case OpScrub:
 		return s.handleScrub(out, req, fail), false
 	case OpInject:
-		n, err := s.set.InjectFaults(int64(req.Key), int(req.Val))
+		injected, capable, err := s.set.InjectFaults(int64(req.Key), int(req.Val))
 		if err != nil {
 			return fail(err), false
 		}
-		var body [8]byte
-		binary.BigEndian.PutUint64(body[:], uint64(n))
+		// Capability info rides with the count: injected(8) capable(8)
+		// total(8), so "0 injected" is distinguishable as "nothing live to
+		// corrupt yet, retry" (capable > 0) vs "these backends cannot
+		// inject" (capable == 0, retrying is futile).
+		var body [24]byte
+		binary.BigEndian.PutUint64(body[0:], uint64(injected))
+		binary.BigEndian.PutUint64(body[8:], uint64(capable))
+		binary.BigEndian.PutUint64(body[16:], uint64(s.set.Len()))
 		return EncodeResponse(out, StatusOK, body[:]), false
 	case OpStats:
 		body, err := json.Marshal(s.set.Stats())
@@ -503,6 +593,135 @@ func (s *Server) handleScan(out []byte, req Request, fail func(error) []byte) []
 		out = binary.BigEndian.AppendUint64(out, pr.V)
 	}
 	return out
+}
+
+// handleSnapScan executes one SNAPSCAN page. snapid 0 with cursor 0
+// opens a fresh snapshot on the connection (pinning every shard's
+// current generation) and serves its first page; the response names the
+// snapshot, and continuations present that snapid with the returned
+// cursor. The terminal page (more=0) releases the snapshot, as does any
+// page-serving failure that proves it dead (ErrSnapshotTooOld); an
+// abandoned scan's pins fall with the connection. snapid 0 with a
+// nonzero cursor is a cursor-mode violation — a snapshot continuation
+// that lost its snapshot must not silently degrade to a live page.
+//
+// Response body: snapid(8 B), more(1 B), next-cursor(8 B), then the
+// pairs as (key value) uint64 BE records.
+func (s *Server) handleSnapScan(out []byte, req Request, cs *connSnaps) []byte {
+	fail := func(err error) []byte {
+		return EncodeResponse(out, errStatus(err), []byte(err.Error()))
+	}
+	lo, hi := req.Key, req.Val
+	limit := int(req.Limit)
+	if req.Limit == 0 || req.Limit > MaxScanPairs {
+		limit = MaxScanPairs
+	}
+	id := req.SnapID
+	var sn *shard.SetSnapshot
+	if id == 0 {
+		if req.Cursor != 0 {
+			return fail(fmt.Errorf("server: snapshot continuation (cursor %d) without its snapshot id: %w", req.Cursor, ErrCursorMode))
+		}
+		opened, err := s.set.OpenSnapshot()
+		if err != nil {
+			return fail(err)
+		}
+		id, err = cs.add(opened)
+		if err != nil {
+			opened.Release()
+			return fail(err)
+		}
+		sn = opened
+	} else if sn = cs.get(id); sn == nil {
+		return fail(fmt.Errorf("server: snapshot %d is not open on this connection: %w", id, ErrCursorMode))
+	}
+	if req.Cursor > lo {
+		lo = req.Cursor
+	}
+	pairs, next, more, err := sn.Scan(lo, hi, limit)
+	if err != nil {
+		if errors.Is(err, ErrSnapshotTooOld) {
+			cs.remove(id) // the pin is gone; drop the table entry too
+		}
+		return fail(err)
+	}
+	if !more {
+		cs.remove(id) // terminal page: the scan is complete, release the pins
+	}
+	out = append(out, StatusOK)
+	out = binary.BigEndian.AppendUint64(out, id)
+	if more {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.BigEndian.AppendUint64(out, next)
+	for _, pr := range pairs {
+		out = binary.BigEndian.AppendUint64(out, pr.K)
+		out = binary.BigEndian.AppendUint64(out, pr.V)
+	}
+	return out
+}
+
+// backupFramePairs caps the pairs per BACKUP stream frame, sized so a
+// frame stays well under MaxFrame (16 bytes a pair plus the 2-byte
+// status/more header).
+const backupFramePairs = 4096
+
+// handleBackup streams the whole keyspace at one pinned snapshot as a
+// sequence of frames on a v1 connection: each frame is status(1 B),
+// more(1 B), then (key value) pairs; the terminal frame carries more=0.
+// The snapshot opens when the request arrives and releases when the
+// stream ends (complete or failed), so a full-pool backup taken under
+// sustained writes is one generation-consistent image — restoring it
+// yields exactly the committed state at the moment the backup began. A
+// failure mid-stream ends the stream with a typed non-OK frame, never a
+// silent truncation. The returned error reports wire failures only (the
+// caller drops the connection); server-side failures travel in-band.
+func (s *Server) handleBackup(bw *bufio.Writer, payload []byte) error {
+	sendErr := func(err error) error {
+		frame := EncodeResponse(nil, errStatus(err), []byte(err.Error()))
+		if werr := WriteFrame(bw, frame); werr != nil {
+			return werr
+		}
+		return bw.Flush()
+	}
+	if _, err := DecodeRequest(payload); err != nil {
+		return sendErr(err)
+	}
+	sn, err := s.set.OpenSnapshot()
+	if err != nil {
+		return sendErr(err)
+	}
+	defer sn.Release()
+	var (
+		cursor uint64
+		out    []byte
+	)
+	for {
+		pairs, next, more, err := sn.Scan(cursor, ^uint64(0), backupFramePairs)
+		if err != nil {
+			return sendErr(err)
+		}
+		out = out[:0]
+		out = append(out, StatusOK)
+		if more {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		for _, pr := range pairs {
+			out = binary.BigEndian.AppendUint64(out, pr.K)
+			out = binary.BigEndian.AppendUint64(out, pr.V)
+		}
+		if err := WriteFrame(bw, out); err != nil {
+			return err
+		}
+		if !more {
+			return bw.Flush()
+		}
+		cursor = next
+	}
 }
 
 // handleScrub executes one SCRUB. Mode 0 reads the maintenance
