@@ -1,15 +1,23 @@
 # Same commands CI runs — `make ci` is exactly the PR gate.
 GO ?= go
 
-.PHONY: all build vet test short race bench cover loadtest nightly ci clean
+.PHONY: all build vet lint test short race bench cover loadtest nightly ci clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (see internal/lint/doc.go): pgllint runs
+# as a vettool so findings gate exactly like vet's.
+bin/pgllint: $(wildcard cmd/pgllint/*.go internal/lint/*.go)
+	$(GO) build -o bin/pgllint ./cmd/pgllint
+
+lint: bin/pgllint
+	$(GO) vet -vettool=$(abspath bin/pgllint) ./...
 
 test:
 	$(GO) test ./...
@@ -37,7 +45,7 @@ nightly:
 	$(GO) test -timeout 90m ./...
 	$(GO) test -race -timeout 90m ./...
 
-ci: build vet test race
+ci: build vet lint test race
 
 clean:
 	rm -f coverage.out

@@ -1,0 +1,78 @@
+// Command pgllint machine-checks the codebase's persistence and
+// concurrency invariants (see internal/lint/doc.go for the rule
+// catalogue).
+//
+// It runs two ways:
+//
+//	pgllint [packages]        # standalone: re-execs `go vet -vettool=pgllint`
+//	go vet -vettool=$(which pgllint) ./...
+//
+// Standalone invocation with package patterns (default ./...) wraps
+// `go vet`, so both forms run the identical unitchecker driver over
+// fully type-checked packages with facts and the build cache. Any
+// flag-shaped or .cfg argument means go vet is driving us and we speak
+// the vet tool protocol directly.
+//
+// Intentional exceptions are suppressed in-code, never out-of-band:
+//
+//	//pgllint:ignore <analyzer> <reason>
+//
+// on the violating line or the line above. The reason is mandatory.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/pangolin-go/pangolin/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 || !vetProtocol(args) {
+		os.Exit(standalone(args))
+	}
+	unitchecker.Main(lint.Analyzers()...)
+}
+
+// vetProtocol reports whether go vet is driving us: every unitchecker
+// invocation passes flags (-V=full, -flags, analyzer flags) or a
+// package .cfg file.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-runs this binary under go vet so package loading,
+// export data, and caching all come from the go command.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgllint: %v\n", err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "pgllint: %v\n", err)
+		return 2
+	}
+	return 0
+}

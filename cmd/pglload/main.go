@@ -110,20 +110,20 @@ type report struct {
 	// whole paginated snapshot scan, opened, drained, and released);
 	// VersionsRetained echoes the server's end-of-run versions_retained
 	// gauge — superseded versions still pinned by open snapshots.
-	ScanPairs         uint64            `json:"scan_pairs"`
-	ScanOpsPerSec     float64           `json:"scan_ops_per_sec"`
-	SnapScanPairs     uint64            `json:"snap_scan_pairs"`
-	SnapScanOpsPerSec float64           `json:"snapshot_scan_ops_per_sec"`
+	ScanPairs         uint64  `json:"scan_pairs"`
+	ScanOpsPerSec     float64 `json:"scan_ops_per_sec"`
+	SnapScanPairs     uint64  `json:"snap_scan_pairs"`
+	SnapScanOpsPerSec float64 `json:"snapshot_scan_ops_per_sec"`
 	// SnapEvictions counts snapshot scans aborted by ErrSnapshotTooOld:
 	// the server's bounded version buffer evicted their pin under load.
 	// That is the documented outcome of the retention cap — the scan
 	// fails typed instead of serving weaker pages — so it is not a
 	// client error, but a plateau here under light snapshot load would
 	// mean the caps are too tight for the mix.
-	SnapEvictions    uint64 `json:"snap_evictions,omitempty"`
-	VersionsRetained int    `json:"versions_retained"`
-	Latency           latencyMS         `json:"latency_ms"`
-	Mix               map[string]uint64 `json:"mix"`
+	SnapEvictions    uint64            `json:"snap_evictions,omitempty"`
+	VersionsRetained int               `json:"versions_retained"`
+	Latency          latencyMS         `json:"latency_ms"`
+	Mix              map[string]uint64 `json:"mix"`
 	// GroupBatchMean is the server's achieved group-commit depth —
 	// batched_ops/batches from server_stats — the number pipelining is
 	// supposed to raise (deeper in-flight windows keep shard worker
@@ -187,12 +187,12 @@ func main() {
 	}
 
 	var (
-		opCount   atomic.Uint64 // ops claimed
-		opsDone   atomic.Uint64 // ops completed
-		errCount  atomic.Uint64
-		gets      atomic.Uint64
-		puts      atomic.Uint64
-		delOps    atomic.Uint64
+		opCount     atomic.Uint64 // ops claimed
+		opsDone     atomic.Uint64 // ops completed
+		errCount    atomic.Uint64
+		gets        atomic.Uint64
+		puts        atomic.Uint64
+		delOps      atomic.Uint64
 		scanOps     atomic.Uint64
 		scanPairs   atomic.Uint64
 		snapOps     atomic.Uint64
@@ -435,14 +435,14 @@ func main() {
 	}
 
 	rep := report{
-		Addr:          *addr,
-		Clients:       *clients,
-		Batch:         *batch,
-		Pipeline:      *pipeline,
-		Ops:           opsDone.Load(),
-		Errors:        errCount.Load(),
-		ElapsedSec:    elapsed.Seconds(),
-		OpsPerSec:     float64(opsDone.Load()) / elapsed.Seconds(),
+		Addr:              *addr,
+		Clients:           *clients,
+		Batch:             *batch,
+		Pipeline:          *pipeline,
+		Ops:               opsDone.Load(),
+		Errors:            errCount.Load(),
+		ElapsedSec:        elapsed.Seconds(),
+		OpsPerSec:         float64(opsDone.Load()) / elapsed.Seconds(),
 		ScanPairs:         scanPairs.Load(),
 		ScanOpsPerSec:     float64(scanOps.Load()) / elapsed.Seconds(),
 		SnapScanPairs:     snapPairs.Load(),

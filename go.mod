@@ -1,3 +1,5 @@
 module github.com/pangolin-go/pangolin
 
 go 1.24
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

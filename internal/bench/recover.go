@@ -94,7 +94,7 @@ func Recover(w io.Writer, cfg Config) error {
 	err = obj.Commit()
 	var ce *mbuf.CanaryError
 	if !errors.As(err, &ce) {
-		return fmt.Errorf("canary did not catch overrun: %v", err)
+		return fmt.Errorf("canary did not catch overrun: %w", err)
 	}
 	fmt.Fprintf(w, "micro-buffer canary: overrun detected, transaction aborted (%v)\n", err)
 

@@ -320,7 +320,7 @@ func (e *Engine) finishOpen() error {
 		}
 		// Rebuild the page holding the corrupt entry from parity.
 		if rerr := e.rebuildDataPage(ce.Off &^ uint64(layout.PageSize-1)); rerr != nil {
-			return fmt.Errorf("core: repairing CM page: %v (original: %w)", rerr, err)
+			return fmt.Errorf("core: repairing CM page: %w (original: %w)", rerr, err)
 		}
 		e.stats.Recovered.Add(1)
 	}

@@ -259,6 +259,6 @@ func ReadReplicated(dev *nvm.Device, primary, replica, n uint64,
 	case rerr == nil:
 		return rb, nil
 	default:
-		return nil, fmt.Errorf("layout: both replicas unusable: primary: %v; replica: %w", perr, rerr)
+		return nil, fmt.Errorf("layout: both replicas unusable: primary: %w; replica: %w", perr, rerr)
 	}
 }

@@ -1,0 +1,71 @@
+// Package lint implements pgllint, a go/analysis suite that
+// machine-checks the persistence and concurrency invariants this
+// codebase depends on but the Go compiler cannot see.
+//
+// Pangolin's correctness rests on discipline: every write inside a
+// transaction must go through a logged view so commit can update the
+// object, its checksum, and zone parity together (the paper's §4
+// contract); the shard reader/writer gate must never leak or block;
+// renames of data files must be crash-durable; typed errors must stay
+// matchable through wraps; and iteration callbacks must honor their
+// stop signal. The last several PRs each shipped review-fix commits
+// for hand-found violations of exactly these rules. View-Based
+// Owicki-Gries Reasoning for Persistent x86-TSO shows persistency
+// invariants are precise enough to check mechanically, and FliT shows
+// a tiny annotation/flag discipline suffices to catch missed-persist
+// bugs; these analyzers encode the same ideas at review time, so those
+// bug classes cannot come back silently.
+//
+// # The rules
+//
+// txwrite — undeclared stores to pmem objects. Tx.Get returns a
+// read-only snapshot; writes must go through Tx.Open or Tx.AddRange so
+// they are logged and covered by checksum + parity on commit. Element
+// writes, copy/append/clear through a Get-derived slice, and discarded
+// Tx.Commit errors are flagged. Bug class: silent checksum/parity
+// corruption — the §4 contract the whole fault model rests on.
+//
+// gatepair — shard gate discipline. Every Lock/RLock/TryRLock/TryLock
+// on a "gate" mutex must be released on every path with the matching
+// kind, and no channel operation may run while the gate is held (the
+// gate serializes readers against group commits; a blocking send under
+// it can wedge the shard worker). Checked as a forward may-analysis
+// over the function's CFG. Bug class: reader-gate leaks and
+// worker-loop deadlocks (the gate protocol introduced in PR 3).
+//
+// fsyncrename — crash-durable renames. os.Rename of a data file
+// without an fsync of the temp file before and of the parent
+// directory after leaves a torn or missing file on a host crash: the
+// rename orders the directory entry, not the data. Bug class: the
+// unfsynced-rename PR 7's review fixed in nvm.Device.SaveFile.
+//
+// errwrap — error identity. In internal/... and server/, fmt.Errorf
+// must wrap error causes with %w, and errors must be compared with
+// errors.Is (or pangolin.IsCorruption / pangolin.IsPoison), never
+// ==/!=. Bug class: severed error chains breaking heal-and-retry,
+// typed wire statuses, and shutdown sentinels (the Apply error
+// contract PR 7's review fixed).
+//
+// stopbool — iteration callbacks. A call to a func(...) bool callback
+// parameter must not discard its result: false means the caller asked
+// the iteration to stop. Bug class: scans delivering pairs after the
+// callback returned false — fixed twice in PR 8's snapshot merge
+// paths.
+//
+// # Suppression
+//
+// Intentional exceptions are documented in-code, never out-of-band:
+//
+//	//pgllint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the violating line or on its own line immediately above it. The
+// reason is mandatory; a reasonless or malformed ignore suppresses
+// nothing and is itself diagnosed at the violation it fails to cover.
+//
+// # Running
+//
+// `make lint` builds cmd/pgllint and runs it over ./... via
+// `go vet -vettool`, which is also how the CI lint job gates merges.
+// See cmd/pgllint for the standalone/vettool invocation modes and
+// linttest for the analysistest-style test harness.
+package lint

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var FsyncRename = &analysis.Analyzer{
+	Name: "fsyncrename",
+	Doc: `flag os.Rename of data files without the fsync-temp/rename/fsync-dir pattern
+
+A rename orders the directory entry, not the data: without an fsync of
+the temp file before the rename and an fsync of the parent directory
+after it, a host crash can leave the path pointing at a torn file or at
+nothing at all (the bug class nvm.Device.SaveFile was hardened against
+in PR 7). The analyzer flags any os.Rename whose enclosing function
+does not fsync a file before the rename and fsync the parent directory
+(a File.Sync call or a syncDir-style helper) after it. Test files are
+exempt: fixture shuffling does not need crash durability.`,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runFsyncRename,
+}
+
+func runFsyncRename(pass *analysis.Pass) (any, error) {
+	r := newReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if !isPkgFunc(pass.TypesInfo, call, "os", "Rename") {
+			return true
+		}
+		if strings.HasSuffix(pass.Fset.Position(call.Pos()).Filename, "_test.go") {
+			return true
+		}
+		var enclosing *ast.FuncDecl
+		for _, s := range stack {
+			if fd, ok := s.(*ast.FuncDecl); ok {
+				enclosing = fd
+			}
+		}
+		if enclosing == nil {
+			r.reportf(call.Pos(), "os.Rename outside a function cannot implement the fsync-temp/rename/fsync-dir pattern; use nvm.Device.SaveFile or a helper that does")
+			return true
+		}
+		syncBefore, dirSyncAfter := renameDiscipline(pass.TypesInfo, enclosing.Body, call)
+		switch {
+		case !syncBefore && !dirSyncAfter:
+			r.reportf(call.Pos(), "raw os.Rename of a data file: fsync the temp file before the rename and the parent directory after it (see nvm.Device.SaveFile)")
+		case !syncBefore:
+			r.reportf(call.Pos(), "os.Rename without an fsync of the renamed file first: the rename can land before the data and a crash leaves a torn file")
+		case !dirSyncAfter:
+			r.reportf(call.Pos(), "os.Rename without an fsync of the parent directory after it: the new directory entry is not durable and a crash can lose the file")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// renameDiscipline scans the enclosing function for a File.Sync call
+// lexically before the rename and a directory sync (File.Sync or a
+// *syncDir*-named helper) lexically after it.
+func renameDiscipline(info *types.Info, body *ast.BlockStmt, rename *ast.CallExpr) (syncBefore, dirSyncAfter bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isFileSync(info, call):
+			if call.Pos() < rename.Pos() {
+				syncBefore = true
+			} else {
+				dirSyncAfter = true
+			}
+		case isSyncDirHelper(call):
+			if call.Pos() > rename.Pos() {
+				dirSyncAfter = true
+			}
+		}
+		return true
+	})
+	return syncBefore, dirSyncAfter
+}
+
+// isFileSync matches f.Sync() where f is an *os.File.
+func isFileSync(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "File" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os"
+}
+
+// isSyncDirHelper matches calls to helpers whose name contains
+// "syncdir" (case-insensitive), e.g. syncDir(dir) or fsutil.SyncDir.
+func isSyncDirHelper(call *ast.CallExpr) bool {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "syncdir")
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}

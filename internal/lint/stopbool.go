@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var StopBool = &analysis.Analyzer{
+	Name: "stopbool",
+	Doc: `check that iteration callbacks' bool (continue) results are propagated
+
+Every scan path hands the caller's fn func(...) bool down through
+structure walks, chunk merges, and overlay flushes; fn returning false
+means stop now. Discarding that result keeps the iteration running
+after the caller asked it to stop — the exact bug PR 8 fixed twice in
+the snapshot merge paths, where overlay leftovers were flushed to fn
+after it returned false. The analyzer flags any call to a func-typed
+parameter returning bool whose result is discarded (expression
+statement, blank assignment, go, or defer).`,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runStopBool,
+}
+
+func runStopBool(pass *analysis.Pass) (any, error) {
+	r := newReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Every parameter (of any function or closure) whose type is a
+	// func returning exactly one bool is an iteration callback.
+	callbacks := map[types.Object]bool{}
+	collect := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				sig, ok := obj.Type().Underlying().(*types.Signature)
+				if !ok || sig.Results().Len() != 1 {
+					continue
+				}
+				if basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); ok && basic.Kind() == types.Bool {
+					callbacks[obj] = true
+				}
+			}
+		}
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			collect(n.Type)
+		case *ast.FuncLit:
+			collect(n.Type)
+		}
+	})
+	if len(callbacks) == 0 {
+		return nil, nil
+	}
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !callbacks[pass.TypesInfo.ObjectOf(id)] {
+			return true
+		}
+		if len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.ExprStmt:
+			r.reportf(call.Pos(), "callback %s's bool (continue) result discarded: false means the caller asked the iteration to stop (see stopbool, PR 8)", id.Name)
+		case *ast.GoStmt, *ast.DeferStmt:
+			r.reportf(call.Pos(), "callback %s called via go/defer discards its bool (continue) result: the early stop can never be propagated", id.Name)
+		case *ast.AssignStmt:
+			if resultOfCallBlank(parent, call) {
+				r.reportf(call.Pos(), "callback %s's bool (continue) result assigned to _: false means the caller asked the iteration to stop (see stopbool, PR 8)", id.Name)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// resultOfCallBlank reports whether the assignment discards call's
+// result into the blank identifier.
+func resultOfCallBlank(as *ast.AssignStmt, call *ast.CallExpr) bool {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return false
+	}
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) == ast.Node(call) && i < len(as.Lhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}

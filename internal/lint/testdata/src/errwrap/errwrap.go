@@ -1,0 +1,55 @@
+// Package errwrap seeds violations of the error wrapping and
+// comparison discipline: wrap causes with %w, compare with errors.Is.
+// (The analyzer only fires in internal/... and server/ package paths;
+// this testdata package lives under internal/lint/testdata.)
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGateBusy = errors.New("gate busy")
+
+func severedWrap(path string, err error) error {
+	return fmt.Errorf("open %s: %v", path, err) // want `error formatted with %v instead of %w`
+}
+
+func severedStringWrap(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want `error formatted with %s instead of %w`
+}
+
+func starWidthWrap(n int, err error) error {
+	return fmt.Errorf("%*d ops: %v", 8, n, err) // want `error formatted with %v instead of %w`
+}
+
+func properWrap(path string, err error) error {
+	return fmt.Errorf("open %s: %w", path, err)
+}
+
+func nonErrorArgs(path string, n int) error {
+	return fmt.Errorf("open %s: %d bytes", path, n)
+}
+
+func identityCompare(err error) bool {
+	return err == ErrGateBusy // want `errors compared with == never match once wrapped`
+}
+
+func identityCompareNeq(err error) bool {
+	return err != ErrGateBusy // want `errors compared with != never match once wrapped`
+}
+
+func nilCompare(err error) bool {
+	return err == nil || nil != err
+}
+
+func properCompare(err error) bool {
+	return errors.Is(err, ErrGateBusy)
+}
+
+// legacyCompare documents an intentional identity comparison (e.g. a
+// protocol sentinel that is never wrapped).
+func legacyCompare(err error) bool {
+	//pgllint:ignore errwrap wire sentinel is never wrapped; identity is the contract
+	return err == ErrGateBusy
+}

@@ -1,0 +1,99 @@
+// Package fsyncrename seeds violations of the crash-durable rename
+// pattern: fsync the temp file, rename, fsync the parent directory.
+package fsyncrename
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func rawRename(tmp, path string) error {
+	return os.Rename(tmp, path) // want `raw os.Rename of a data file`
+}
+
+func missingDirSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `without an fsync of the parent directory`
+}
+
+func missingFileSync(tmp, path string) error {
+	if err := os.Rename(tmp, path); err != nil { // want `without an fsync of the renamed file first`
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func fullPattern(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func inlineDirSync(tmp, path string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fixtureShuffle documents an intentional exception: the destination
+// is a scratch path whose loss on crash is harmless.
+func fixtureShuffle(tmp, path string) error {
+	//pgllint:ignore fsyncrename scratch-path shuffle; crash durability not needed
+	return os.Rename(tmp, path)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,64 @@
+// Package stopbool seeds violations of the iteration-callback
+// contract: fn func(...) bool returning false means stop now, so the
+// result must be checked and propagated.
+package stopbool
+
+type pair struct{ k, v uint64 }
+
+func flushDiscards(overlay []pair, fn func(k, v uint64) bool) {
+	for _, p := range overlay {
+		fn(p.k, p.v) // want `callback fn's bool \(continue\) result discarded`
+	}
+}
+
+func flushBlank(overlay []pair, fn func(k, v uint64) bool) {
+	for _, p := range overlay {
+		_ = fn(p.k, p.v) // want `callback fn's bool \(continue\) result assigned to _`
+	}
+}
+
+func asyncCall(fn func(k, v uint64) bool) {
+	go fn(0, 0)    // want `callback fn called via go/defer`
+	defer fn(1, 1) // want `callback fn called via go/defer`
+}
+
+func propagates(overlay []pair, fn func(k, v uint64) bool) bool {
+	for _, p := range overlay {
+		if !fn(p.k, p.v) {
+			return false
+		}
+	}
+	return true
+}
+
+func closureUse(overlay []pair, fn func(k, v uint64) bool) bool {
+	stopped := false
+	walk := func(p pair) bool {
+		if !fn(p.k, p.v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, p := range overlay {
+		if !walk(p) {
+			break
+		}
+	}
+	return stopped
+}
+
+// errorCallback is out of scope: the contract is about bool continue
+// results, error results have their own check paths.
+func errorCallback(overlay []pair, fn func(k, v uint64) error) {
+	for _, p := range overlay {
+		fn(p.k, p.v)
+	}
+}
+
+// lastNotify documents an intentional discard: the callback is a
+// best-effort notification, not an iteration.
+func lastNotify(fn func(k, v uint64) bool) {
+	//pgllint:ignore stopbool best-effort completion notification; there is nothing left to stop
+	fn(0, 0)
+}

@@ -1,0 +1,110 @@
+// Package txwrite seeds violations of the transaction write contract:
+// Tx.Get hands out read-only snapshots, so every store must go through
+// Open/AddRange, and Commit's error must be checked. The shapes mirror
+// the real pangolin.Tx API.
+package txwrite
+
+// OID mirrors pangolin.OID.
+type OID struct{ Off uint64 }
+
+// Tx mirrors the pangolin transaction API shape the analyzer keys on.
+type Tx struct{ buf []byte }
+
+func (tx *Tx) Get(oid OID) ([]byte, error)                     { return tx.buf, nil }
+func (tx *Tx) Open(oid OID) ([]byte, error)                    { return tx.buf, nil }
+func (tx *Tx) AddRange(oid OID, off, n uint64) ([]byte, error) { return tx.buf, nil }
+func (tx *Tx) Commit() error                                   { return nil }
+
+func directWrite(tx *Tx, oid OID) error {
+	b, err := tx.Get(oid)
+	if err != nil {
+		return err
+	}
+	b[0] = 1 // want `write to read-only Tx.Get snapshot "b"`
+	return tx.Commit()
+}
+
+func builtinWrites(tx *Tx, oid OID, src []byte) error {
+	b, err := tx.Get(oid)
+	if err != nil {
+		return err
+	}
+	copy(b, src)          // want `copy writes into read-only Tx.Get snapshot "b"`
+	copy(b[4:], src)      // want `copy writes into read-only Tx.Get snapshot "b"`
+	_ = append(b[:0], 42) // want `append writes into read-only Tx.Get snapshot "b"`
+	clear(b)              // want `clear writes into read-only Tx.Get snapshot "b"`
+	return tx.Commit()
+}
+
+func aliasedWrite(tx *Tx, oid OID) error {
+	b, err := tx.Get(oid)
+	if err != nil {
+		return err
+	}
+	header := b[:8]
+	header[0] = 0xFF // want `write to read-only Tx.Get snapshot "header"`
+	return tx.Commit()
+}
+
+// reopenForWrite is the correct pattern: a later Open/AddRange rebinds
+// the variable to a writable view and clears the taint.
+func reopenForWrite(tx *Tx, oid OID) error {
+	b, err := tx.Get(oid)
+	if err != nil {
+		return err
+	}
+	if b[0] == 0 {
+		return nil
+	}
+	b, err = tx.Open(oid)
+	if err != nil {
+		return err
+	}
+	b[0] = 1
+	v, err := tx.AddRange(oid, 0, 8)
+	if err != nil {
+		return err
+	}
+	v[7] = 2
+	return tx.Commit()
+}
+
+func commitDiscarded(tx *Tx) {
+	tx.Commit()     // want `Tx.Commit error discarded`
+	_ = tx.Commit() // want `Tx.Commit error discarded`
+}
+
+func commitDeferred(tx *Tx) {
+	defer tx.Commit() // want `Tx.Commit error discarded in defer`
+}
+
+func commitChecked(tx *Tx) error {
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scribble is an intentional violation: fault-injection tests corrupt
+// snapshots on purpose, and document it in-code.
+func scribble(tx *Tx, oid OID) error {
+	b, err := tx.Get(oid)
+	if err != nil {
+		return err
+	}
+	//pgllint:ignore txwrite fault-injection test deliberately corrupts the snapshot
+	b[0] ^= 0xFF
+	return tx.Commit()
+}
+
+// undocumented suppressions are themselves flagged: the reason is
+// mandatory.
+func scribbleNoReason(tx *Tx, oid OID) error {
+	b, err := tx.Get(oid)
+	if err != nil {
+		return err
+	}
+	//pgllint:ignore txwrite
+	b[0] ^= 0xFF // want `write to read-only Tx.Get snapshot "b"` `missing its reason`
+	return tx.Commit()
+}

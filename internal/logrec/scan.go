@@ -25,7 +25,7 @@ func (m *Manager) parseStream(lane uint64, hdr laneHeader) ([]Record, []uint64, 
 		}
 		repl, extsR, errR := m.scanCopy(lane, hdr, true)
 		if errR != nil {
-			return nil, nil, fmt.Errorf("primary: %v; replica: %w", errP, errR)
+			return nil, nil, fmt.Errorf("primary: %w; replica: %w", errP, errR)
 		}
 		return repl, extsR, nil
 	}
@@ -37,7 +37,7 @@ func (m *Manager) parseStream(lane uint64, hdr laneHeader) ([]Record, []uint64, 
 	repl, extsR, errR := m.scanCopy(lane, hdr, true)
 	switch {
 	case errP != nil && errR != nil:
-		return nil, nil, fmt.Errorf("primary: %v; replica: %w", errP, errR)
+		return nil, nil, fmt.Errorf("primary: %w; replica: %w", errP, errR)
 	case errP != nil:
 		return repl, extsR, nil
 	case errR != nil:

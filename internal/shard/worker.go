@@ -977,6 +977,7 @@ func (w *worker) healPass() (pangolin.ScrubReport, error) {
 			return total, err
 		}
 		w.gate.Unlock()
+		//pgllint:ignore gatepair caller holds the gate on entry and return; the loop cycles it between scrub steps
 		w.gate.Lock()
 	}
 }

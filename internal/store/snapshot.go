@@ -62,12 +62,12 @@ type version struct {
 // the View exclusion contract (reader-gate discipline).
 type VersionBuffer struct {
 	mu           sync.Mutex
-	gen          uint64            // committed generation (batches applied)
-	pins         map[uint64]int    // pinned generation -> refcount
+	gen          uint64               // committed generation (batches applied)
+	pins         map[uint64]int       // pinned generation -> refcount
 	versions     map[uint64][]version // key -> superseded versions, supersededAt ascending
-	retained     int               // total version entries across keys
-	evictedBelow uint64            // pins at gen < this are too old
-	staged       map[uint64]version // current batch's pre-states (supersededAt unset)
+	retained     int                  // total version entries across keys
+	evictedBelow uint64               // pins at gen < this are too old
+	staged       map[uint64]version   // current batch's pre-states (supersededAt unset)
 	maxPins      int
 	maxVersions  int
 }

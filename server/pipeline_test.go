@@ -287,6 +287,7 @@ func TestV1ClientAgainstV2Server(t *testing.T) {
 				}
 				v, ok, err := c.Get(base + i)
 				if err != nil || !ok || v != base^i {
+					//pgllint:ignore errwrap test diagnostic renders the whole (v,ok,err) tuple; err may be nil here and nothing unwraps it
 					errs <- fmt.Errorf("worker %d: get %d = (%d,%v,%v)", id, base+i, v, ok, err)
 					return
 				}
@@ -650,7 +651,7 @@ func TestPipelinedTorture(t *testing.T) {
 				// Errors are legal only once the teardown begins; before
 				// that, every op must succeed.
 				if !tearingDown.Load() {
-					errs <- fmt.Errorf("worker %d: %v", id, err)
+					errs <- fmt.Errorf("worker %d: %w", id, err)
 				}
 			}
 			for {
