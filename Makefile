@@ -1,7 +1,7 @@
 # Same commands CI runs — `make ci` is exactly the PR gate.
 GO ?= go
 
-.PHONY: all build vet lint test short race bench cover loadtest nightly ci clean
+.PHONY: all build vet lint test short race bench bench-alloc cover loadtest nightly ci clean
 
 all: build vet lint test
 
@@ -31,6 +31,15 @@ race:
 # One iteration of every benchmark: checks they still run, not their numbers.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Hot-path allocation budgets (bench/alloc_budgets.txt): run the
+# BenchmarkAlloc* suite with -benchmem at a fixed iteration count
+# (allocs/op is deterministic there; ns/op is not gated) and fail if any
+# benchmark exceeds its checked-in allocs/op or B/op budget.
+bench-alloc:
+	$(GO) test -run '^$$' -bench 'BenchmarkAlloc' -benchmem -benchtime 10000x \
+		./server/ ./internal/shard/ ./internal/store/logstore/ | tee bench-alloc.txt
+	$(GO) run ./cmd/allocgate bench-alloc.txt
 
 cover:
 	$(GO) test -short -covermode atomic -coverprofile coverage.out ./...

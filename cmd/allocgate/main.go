@@ -1,0 +1,162 @@
+// Command allocgate enforces the checked-in allocation budgets
+// (bench/alloc_budgets.txt) against a `go test -bench -benchmem` output
+// file. It is the teeth behind `make bench-alloc`: every BenchmarkAlloc*
+// benchmark named in the budget file must appear in the run and must
+// come in at or under its allocs/op and B/op budgets, or the gate exits
+// nonzero. Wall-clock numbers are ignored — CI shares one core — but
+// allocation counts are deterministic at a fixed -benchtime, which is
+// what makes them gateable where ns/op is not.
+//
+// Usage:
+//
+//	allocgate [-budgets bench/alloc_budgets.txt] bench-output.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type budget struct {
+	name                  string
+	maxAllocs, maxBytes   uint64
+	baseAllocs, baseBytes uint64
+	gotAllocs, gotBytes   uint64
+	seen                  bool
+}
+
+func main() {
+	budgetsPath := flag.String("budgets", "bench/alloc_budgets.txt", "budget file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: allocgate [-budgets file] bench-output.txt")
+		os.Exit(2)
+	}
+
+	budgets, err := loadBudgets(*budgetsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(2)
+	}
+	if err := scanBench(flag.Arg(0), budgets); err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(2)
+	}
+
+	fail := false
+	fmt.Printf("%-32s %14s %14s %18s\n", "benchmark", "allocs/op", "B/op", "vs pre-pool base")
+	for _, b := range budgets {
+		if !b.seen {
+			fmt.Printf("%-32s MISSING from benchmark output\n", b.name)
+			fail = true
+			continue
+		}
+		status := "ok"
+		if b.gotAllocs > b.maxAllocs || b.gotBytes > b.maxBytes {
+			status = "OVER BUDGET"
+			fail = true
+		}
+		fmt.Printf("%-32s %6d (<=%4d) %6d (<=%5d) %7d -> %-6d %s\n",
+			b.name, b.gotAllocs, b.maxAllocs, b.gotBytes, b.maxBytes,
+			b.baseAllocs, b.gotAllocs, status)
+	}
+	if fail {
+		fmt.Println("\nallocation budget breached: either fix the regression or justify")
+		fmt.Println("raising the budget in bench/alloc_budgets.txt (treat that like")
+		fmt.Println("weakening a test).")
+		os.Exit(1)
+	}
+	fmt.Println("\nall allocation budgets hold")
+}
+
+func loadBudgets(path string) ([]*budget, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*budget
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("%s:%d: want 5 fields, got %d", path, line, len(fields))
+		}
+		b := &budget{name: fields[0]}
+		for i, dst := range []*uint64{&b.maxAllocs, &b.maxBytes, &b.baseAllocs, &b.baseBytes} {
+			v, err := strconv.ParseUint(fields[i+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: field %d: %v", path, line, i+2, err)
+			}
+			*dst = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no budgets", path)
+	}
+	return out, nil
+}
+
+// scanBench extracts allocs/op and B/op for each budgeted benchmark from
+// go test -bench -benchmem output. Lines look like:
+//
+//	BenchmarkAllocPipelinedGetPut   10000   8725 ns/op   1183 B/op   19 allocs/op
+//
+// with an optional -N GOMAXPROCS suffix on the name.
+func scanBench(path string, budgets []*budget) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	byName := make(map[string]*budget, len(budgets))
+	for _, b := range budgets {
+		byName[b.name] = b
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b, ok := byName[name]
+		if !ok {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseUint(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.gotBytes = v
+				b.seen = true
+			case "allocs/op":
+				b.gotAllocs = v
+				b.seen = true
+			}
+		}
+	}
+	return sc.Err()
+}

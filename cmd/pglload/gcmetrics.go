@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// gcSample is one runtime/metrics snapshot of the client process's
+// allocation pressure: cumulative heap-alloc bytes and the cumulative
+// GC pause histogram. Two samples bracket the load window; the report's
+// alloc_bytes_per_op and gc_pause_p99 come from their difference, so
+// setup work (key preload, connection dials) outside the bracket does
+// not pollute the per-op numbers.
+type gcSample struct {
+	allocBytes uint64
+	// Pause histogram copy: bucket boundaries (seconds) and cumulative
+	// counts at sample time. The runtime owns the Sample's histogram
+	// memory between Reads, so both slices are copied out.
+	buckets []float64
+	counts  []uint64
+}
+
+func readGC() gcSample {
+	s := []metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/sched/pauses/total/gc:seconds"},
+	}
+	metrics.Read(s)
+	var g gcSample
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		g.allocBytes = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == metrics.KindFloat64Histogram {
+		h := s[1].Value.Float64Histogram()
+		g.buckets = append([]float64(nil), h.Buckets...)
+		g.counts = append([]uint64(nil), h.Counts...)
+	}
+	return g
+}
+
+func allocBytesPerOp(before, after gcSample, ops uint64) float64 {
+	if ops == 0 || after.allocBytes < before.allocBytes {
+		return 0
+	}
+	return float64(after.allocBytes-before.allocBytes) / float64(ops)
+}
+
+// gcPauseP99 returns the p99 GC pause, in seconds, among pauses that
+// landed between the two samples (the counts are cumulative, so the
+// bucket-wise difference is the run's own pause distribution). The
+// value reported is the upper bound of the bucket holding the 99th
+// percentile; 0 when no pause occurred during the window.
+func gcPauseP99(before, after gcSample) float64 {
+	if len(after.counts) == 0 || len(after.counts) != len(before.counts) {
+		return 0
+	}
+	delta := make([]uint64, len(after.counts))
+	total := uint64(0)
+	for i := range delta {
+		if after.counts[i] >= before.counts[i] {
+			delta[i] = after.counts[i] - before.counts[i]
+		}
+		total += delta[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	// counts[i] covers (buckets[i], buckets[i+1]]; len(buckets) ==
+	// len(counts)+1. Walk to the bucket containing the p99 count.
+	target := (total*99 + 99) / 100 // ceil(total * 0.99)
+	seen := uint64(0)
+	for i, c := range delta {
+		seen += c
+		if seen >= target {
+			hi := after.buckets[i+1]
+			if math.IsInf(hi, 1) {
+				// Overflow bucket: report its finite lower bound rather
+				// than +Inf.
+				return after.buckets[i]
+			}
+			return hi
+		}
+	}
+	return 0
+}

@@ -128,9 +128,19 @@ type report struct {
 	// batched_ops/batches from server_stats — the number pipelining is
 	// supposed to raise (deeper in-flight windows keep shard worker
 	// queues full, so each persist fence covers more operations).
-	GroupBatchMean float64       `json:"group_batch_mean,omitempty"`
-	Server         *server.Stats `json:"server_stats,omitempty"`
-	CrashSent      bool          `json:"crash_sent"`
+	GroupBatchMean float64 `json:"group_batch_mean,omitempty"`
+	// Client-process allocation pressure over the load window, from
+	// runtime/metrics: AllocBytesPerOp is the heap-alloc byte delta
+	// divided by completed ops, and GCPauseP99 the p99 stop-the-world
+	// pause (seconds) among pauses that occurred during the run. Both
+	// are recorded for trend-watching, not gated — single-core CI makes
+	// wall-clock-adjacent numbers too noisy to fail a build on, but a
+	// drift here across PRs flags a hot-path allocation regression on
+	// the client side the same way the server-side budgets do.
+	AllocBytesPerOp float64       `json:"alloc_bytes_per_op"`
+	GCPauseP99      float64       `json:"gc_pause_p99"`
+	Server          *server.Stats `json:"server_stats,omitempty"`
+	CrashSent       bool          `json:"crash_sent"`
 	// Corruption-healing accounting (with -faults): how many live
 	// objects INJECT corrupted during and after the load, and whether
 	// the server's background scrubber reported bg_repairs > 0 within
@@ -388,6 +398,7 @@ func main() {
 		}
 	}
 
+	gcBefore := readGC()
 	start := time.Now()
 	for id := 0; id < *clients; id++ {
 		wg.Add(1)
@@ -415,6 +426,7 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	gcAfter := readGC()
 	close(stopInject)
 	injectWG.Wait()
 
@@ -452,7 +464,9 @@ func main() {
 			P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), P999: pct(0.999),
 			Max: pct(1),
 		},
-		Mix: map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load(), "scan": scanOps.Load(), "snapscan": snapOps.Load()},
+		Mix:             map[string]uint64{"get": gets.Load(), "put": puts.Load(), "del": delOps.Load(), "scan": scanOps.Load(), "snapscan": snapOps.Load()},
+		AllocBytesPerOp: allocBytesPerOp(gcBefore, gcAfter, opsDone.Load()),
+		GCPauseP99:      gcPauseP99(gcBefore, gcAfter),
 		// Set before the post-run dial: a failed stats connection must
 		// not misreport the injections that already happened as zero.
 		FaultsInjected: faultsInjected.Load(),

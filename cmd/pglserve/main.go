@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +63,10 @@ func main() {
 		"route every GET through the shard worker (disable the concurrent verified-read fast path); for A/B measurement")
 	scrubInterval := flag.Duration("scrub-interval", 0,
 		"background maintenance cadence: every interval one shard (round-robin) runs one bounded scrub step, skipped while that shard is busy; 0 disables (scrub then runs only on SCRUB requests)")
+	commitWait := flag.Duration("commit-wait", 0,
+		"adaptive group-commit window cap: a hot shard worker may wait up to this long for more ops before committing (scaled by recent batch depth; idle load never waits); 0 selects the default (100µs), negative disables the wait")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pglserve: -dir is required")
@@ -81,6 +87,18 @@ func main() {
 		LogSegmentBytes: *logSegBytes,
 		SerialReads:     *serialReads,
 		ScrubInterval:   *scrubInterval,
+		CommitWait:      *commitWait,
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux
+		// at import; this side server exposes nothing else. See the
+		// "Profiling a hot server" recipe in the README.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pglserve: pprof server: %v", err)
+			}
+		}()
 	}
 
 	// An existing set is detected by its shard-0000 entry in either

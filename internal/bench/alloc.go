@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/pangolin-go/pangolin"
+	"github.com/pangolin-go/pangolin/internal/shard"
+)
+
+// Alloc measures per-operation heap allocation of the group-commit
+// write path at several batch depths — the number the pooled-buffer and
+// adaptive-commit work drives down, and the in-process counterpart of
+// the wire-level budgets `make bench-alloc` gates (bench/
+// alloc_budgets.txt). Each row commits the same operation count through
+// one shard set via Batch frames of the given depth and reports the
+// heap-allocation delta (runtime.MemStats Mallocs / TotalAlloc) divided
+// by operations: depth 1 pays the full per-commit transaction cost —
+// log persist, fence, parity, line capture — on every op, while deeper
+// batches amortize it, which is exactly why the server's pipelining and
+// the workers' adaptive commit window aim to keep batches full.
+func Alloc(w io.Writer, cfg Config) error {
+	ops := cfg.KVOps
+	if ops > 200_000 {
+		ops = 200_000
+	}
+	dir, err := os.MkdirTemp("", "pgl-alloc-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	set, err := shard.Create(dir, 2, shard.Options{Pangolin: pangolin.Config{Geometry: geoFor(uint64(ops) * 96)}})
+	if err != nil {
+		return err
+	}
+	defer set.Abandon()
+
+	fmt.Fprintf(w, "\nGroup-commit allocation vs batch depth, %d puts per row (2 shards)\n", ops)
+	t := &Table{Header: []string{
+		"batch depth", "allocs/op", "B/op", "kops/s",
+	}}
+	for _, depth := range []int{1, 8, 64} {
+		batch := make([]shard.BatchOp, depth)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		done := 0
+		for k := uint64(0); done < ops; k += uint64(depth) {
+			for i := range batch {
+				batch[i] = shard.BatchOp{Kind: shard.BatchPut, K: k + uint64(i), V: k}
+			}
+			for _, r := range set.Batch(batch) {
+				if r.Err != nil {
+					return fmt.Errorf("depth %d: %w", depth, r.Err)
+				}
+			}
+			done += depth
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		t.Add(
+			fmt.Sprintf("%d", depth),
+			fmt.Sprintf("%.1f", float64(after.Mallocs-before.Mallocs)/float64(done)),
+			fmt.Sprintf("%.0f", float64(after.TotalAlloc-before.TotalAlloc)/float64(done)),
+			fmtKops(done, elapsed),
+		)
+	}
+	t.Print(w)
+	return nil
+}

@@ -11,7 +11,7 @@ package mbuf
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/pangolin-go/pangolin/internal/layout"
 )
@@ -133,7 +133,19 @@ func (b *Buf) coalesce() {
 	if len(b.ranges) < 2 {
 		return
 	}
-	sort.Slice(b.ranges, func(i, j int) bool { return b.ranges[i].Off < b.ranges[j].Off })
+	// slices.SortFunc, not sort.Slice: the latter builds a reflection
+	// swapper per call, one heap allocation on every multi-range
+	// MarkModified — pure overhead on the commit hot path.
+	slices.SortFunc(b.ranges, func(a, b Range) int {
+		switch {
+		case a.Off < b.Off:
+			return -1
+		case a.Off > b.Off:
+			return 1
+		default:
+			return 0
+		}
+	})
 	out := b.ranges[:1]
 	for _, r := range b.ranges[1:] {
 		last := &out[len(out)-1]

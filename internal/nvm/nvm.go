@@ -98,7 +98,36 @@ type lineRec struct {
 type shard struct {
 	mu      sync.Mutex
 	lines   map[uint64]*lineRec
-	flushed []uint64 // line indices with a flush issued; drained by Fence
+	flushed []uint64   // line indices with a flush issued; drained by Fence
+	free    []*lineRec // retired recs reused by capture; bounded by maxFreeRecs
+}
+
+// maxFreeRecs bounds each shard's lineRec free list (64 shards × 256 recs
+// × ~72 B ≈ 1.2 MB worst case). Fence retires a line's rec here instead
+// of dropping it to the GC, and capture reuses it for the next dirty
+// line — the commit hot path then tracks lines with no allocation at all
+// once the free lists warm up.
+const maxFreeRecs = 256
+
+// getRec pops a free rec (resetting it for reuse) or allocates. Caller
+// holds s.mu.
+func (s *shard) getRec() *lineRec {
+	if n := len(s.free); n > 0 {
+		rec := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		rec.flushed = false
+		return rec
+	}
+	return &lineRec{}
+}
+
+// putRec retires a rec for reuse. Caller holds s.mu and must have removed
+// every reference to rec from s.lines.
+func (s *shard) putRec(rec *lineRec) {
+	if len(s.free) < maxFreeRecs {
+		s.free = append(s.free, rec)
+	}
 }
 
 const numShards = 64
@@ -214,7 +243,7 @@ func (d *Device) capture(off, n uint64) {
 		}
 		rec, ok := cur.lines[line]
 		if !ok {
-			rec = &lineRec{}
+			rec = cur.getRec()
 			copy(rec.old[:], d.mem[line*CacheLineSize:(line+1)*CacheLineSize])
 			cur.lines[line] = rec
 		} else {
@@ -377,6 +406,7 @@ func (d *Device) Fence() {
 		for _, line := range s.flushed {
 			if rec, ok := s.lines[line]; ok && rec.flushed {
 				delete(s.lines, line)
+				s.putRec(rec)
 			}
 		}
 		s.flushed = s.flushed[:0]
@@ -573,7 +603,10 @@ func (d *Device) dropTracking(off, n uint64) {
 	for line := first; line <= last; line++ {
 		s := d.shards[lineShard(line)]
 		s.mu.Lock()
-		delete(s.lines, line)
+		if rec, ok := s.lines[line]; ok {
+			delete(s.lines, line)
+			s.putRec(rec)
+		}
 		s.mu.Unlock()
 	}
 }

@@ -78,6 +78,7 @@ func (s *Set) maintLoop(m *maintenance) {
 		// never queue scrub work faster than the workers retire it.
 		select {
 		case <-reply:
+			putReply(reply)
 		case <-m.stopc:
 			// Shutdown while a step is in flight: the worker still
 			// drains it (stop() waits for the queue), we just stop

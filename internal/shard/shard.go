@@ -97,10 +97,20 @@ type Options struct {
 	// QueueLen is the per-shard request queue depth; default 128.
 	QueueLen int
 	// MaxBatch caps how many operations a shard worker folds into one
-	// group-committed store batch; default 64. A worker never waits to
-	// fill a group — it drains what is already queued — so this bounds
-	// batch size, not latency.
+	// group-committed store batch; default 64. A worker only waits to
+	// fill a group within the bounded adaptive window below, so this
+	// bounds batch size, not latency.
 	MaxBatch int
+	// CommitWait caps the adaptive group-commit window: when a shard's
+	// queue has been running deep (recent group depth EWMA ≥ 2), the
+	// worker may wait up to this long — scaled down by how shallow the
+	// recent groups actually were — for more ops before committing, so
+	// per-commit transaction costs amortize over deeper batches exactly
+	// when traffic can fill them. Idle or lockstep load never waits: the
+	// EWMA sits at 1 and the window is zero. 0 selects the default
+	// (100µs); negative disables the wait entirely (the pre-adaptive
+	// drain-only behavior).
+	CommitWait time.Duration
 	// SerialReads disables the concurrent verified-read fast path and
 	// routes every Get through the shard's worker goroutine (the
 	// pre-fast-path behavior). Mainly for A/B measurement (pglserve
@@ -170,6 +180,22 @@ func (o *Options) maxBatch() int {
 		return 64
 	}
 	return o.MaxBatch
+}
+
+// defaultCommitWait is the adaptive group-commit window cap when
+// Options.CommitWait is zero: a few store round trips' worth of grace,
+// far below any client-visible latency budget.
+const defaultCommitWait = 100 * time.Microsecond
+
+func (o *Options) commitWait() time.Duration {
+	switch {
+	case o.CommitWait == 0:
+		return defaultCommitWait
+	case o.CommitWait < 0:
+		return 0
+	default:
+		return o.CommitWait
+	}
 }
 
 // logOptions builds the log backend's per-shard options.
@@ -262,7 +288,7 @@ func Create(dir string, n int, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, st, view, opts.queueLen(), opts.maxBatch()))
+		s.workers = append(s.workers, newWorker(i, st, view, opts.queueLen(), opts.maxBatch(), opts.commitWait()))
 	}
 	// Persist the freshly initialized shards (pangolin roots and
 	// anchors; log manifests and empty tails).
@@ -349,7 +375,7 @@ func Open(dir string, opts Options) (*Set, error) {
 			s.Abandon()
 			return nil, fmt.Errorf("shard %d: attach read view: %w", i, err)
 		}
-		s.workers = append(s.workers, newWorker(i, st, view, opts.queueLen(), opts.maxBatch()))
+		s.workers = append(s.workers, newWorker(i, st, view, opts.queueLen(), opts.maxBatch(), opts.commitWait()))
 	}
 	s.startMaint(opts.ScrubInterval)
 	return s, nil
@@ -562,6 +588,7 @@ func (s *Set) Batch(ops []BatchOp) []BatchResult {
 				for j, i := range perIdx[sh] {
 					out[i] = res[j]
 				}
+				putBatchResults(res)
 				continue
 			}
 		}
@@ -572,6 +599,7 @@ func (s *Set) Batch(ops []BatchOp) []BatchResult {
 			continue
 		}
 		r := <-ch
+		putReply(ch)
 		if r.err != nil {
 			// The worker rejected the request outright (closed shard):
 			// every op in the slice gets the same verdict.
@@ -583,6 +611,7 @@ func (s *Set) Batch(ops []BatchOp) []BatchResult {
 		for j, i := range perIdx[sh] {
 			out[i] = r.batch[j]
 		}
+		putBatchResults(r.batch)
 	}
 	return out
 }
@@ -605,7 +634,9 @@ func (s *Set) fanOut(op uint8, seed int64) error {
 	}
 	var first error
 	for i, ch := range results {
-		if r := <-ch; r.err != nil && first == nil {
+		r := <-ch
+		putReply(ch)
+		if r.err != nil && first == nil {
 			first = fmt.Errorf("shard %d: %w", i, r.err)
 		}
 	}
@@ -638,6 +669,7 @@ func (s *Set) Scrub() (pangolin.ScrubReport, error) {
 	var first error
 	for i, ch := range results {
 		r := <-ch
+		putReply(ch)
 		if r.err != nil {
 			if first == nil {
 				first = fmt.Errorf("shard %d: %w", i, r.err)
@@ -734,6 +766,7 @@ func (s *Set) Stats() Stats {
 	var backends []string
 	for i, ch := range results {
 		r := <-ch
+		putReply(ch)
 		st.Shards[i] = r.stats
 		seen := false
 		for _, b := range backends {
@@ -767,6 +800,7 @@ func (s *Set) Stats() Stats {
 		st.Batches += r.stats.Batches
 		st.BatchedOps += r.stats.BatchedOps
 		st.GroupFallbacks += r.stats.GroupFallbacks
+		st.CommitWaits += r.stats.CommitWaits
 		st.Scans += r.stats.Scans
 		st.ScanPairs += r.stats.ScanPairs
 		st.FastScans += r.stats.FastScans
@@ -844,6 +878,9 @@ type ShardStats struct {
 	// GroupFallbacks counts groups whose batch failed and whose ops were
 	// retried individually.
 	GroupFallbacks uint64 `json:"group_fallbacks"`
+	// CommitWaits counts group commits that held the adaptive commit
+	// window open (Options.CommitWait) to gather a deeper batch.
+	CommitWaits uint64 `json:"commit_waits"`
 	// Scan chunk accounting, mirroring the Get split: FastScans counts
 	// chunks served on the concurrent fast path (view scans under the
 	// reader gate, no worker hop) and Scans counts chunks served by the
@@ -918,6 +955,7 @@ type Stats struct {
 	Batches        uint64       `json:"batches"`
 	BatchedOps     uint64       `json:"batched_ops"`
 	GroupFallbacks uint64       `json:"group_fallbacks"`
+	CommitWaits    uint64       `json:"commit_waits"`
 	Scans          uint64       `json:"scans"`
 	ScanPairs      uint64       `json:"scan_pairs"`
 	FastScans      uint64       `json:"fast_scans"`

@@ -91,6 +91,47 @@ type response struct {
 	scrub pangolin.ScrubReport
 }
 
+// replyPool recycles the one-shot response channels send and trySend
+// hand out: each carries exactly one response, so the channel is empty
+// and reusable the moment its receiver has read it. Recycling is the
+// receiver's job, after that single receive; a channel whose receiver
+// walks away (the maintenance scheduler's shutdown path) is simply
+// dropped to the GC — never recycled with a response still buffered.
+var replyPool = sync.Pool{
+	New: func() any { return make(chan response, 1) },
+}
+
+func getReply() chan response   { return replyPool.Get().(chan response) }
+func putReply(ch chan response) { replyPool.Put(ch) }
+
+// batchResPool recycles []BatchResult backing arrays. Producers (the
+// worker's group commit and batch paths) assign every element, so a
+// recycled slice needs no clearing; consumers copy what they keep and
+// recycle after the copy — BatchResult values delivered to callers are
+// always copies, never views into pooled memory.
+var batchResPool = sync.Pool{
+	New: func() any { return (*[]BatchResult)(nil) },
+}
+
+// maxPooledBatchResults caps what recycles, matching the protocol's
+// MaxBatchOps so one oversized slice cannot pin memory in the pool.
+const maxPooledBatchResults = 4096
+
+func getBatchResults(n int) []BatchResult {
+	if p, _ := batchResPool.Get().(*[]BatchResult); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]BatchResult, n)
+}
+
+func putBatchResults(s []BatchResult) {
+	if cap(s) == 0 || cap(s) > maxPooledBatchResults {
+		return
+	}
+	s = s[:0]
+	batchResPool.Put(&s)
+}
+
 // worker owns one shard: its store.Store and the only goroutine that
 // ever mutates it (§3.4 single-writer discipline, generalized — every
 // backend's Store belongs to one owner goroutine). It also owns the
@@ -172,8 +213,21 @@ type worker struct {
 	// Counters, touched only by the worker goroutine.
 	gets, puts, dels, hits, errs        uint64
 	batches, batchedOps, groupFallbacks uint64
-	scans, scanPairs                    uint64    // worker-path scan chunks
-	scratch                             []request // loop-local drain buffer
+	commitWaits                         uint64     // adaptive-commit windows taken
+	scans, scanPairs                    uint64     // worker-path scan chunks
+	scratch                             []request  // loop-local drain buffer
+	opsBuf                              []store.Op // flattenGroup scratch, reused per group
+	oneReq                              [1]request // single-request flatten scratch
+	oneOp                               [1]store.Op
+
+	// Adaptive group commit (see the loop): commitWait caps the bounded
+	// micro-window the drain may wait for more ops when the queue has
+	// been running deep; ewma tracks recent group depth and tunes the
+	// window — near 1 under lockstep load, so an idle or
+	// latency-sensitive connection never waits at all.
+	commitWait time.Duration
+	ewma       float64
+	waitTimer  *time.Timer
 
 	// Maintenance state, touched only by the worker goroutine.
 	scrubSteps       uint64 // scrub steps executed (scheduler + full passes)
@@ -205,15 +259,17 @@ type fullScrubJob struct {
 	waiters []chan response
 }
 
-func newWorker(idx int, st store.Store, view store.View, queueLen, maxBatch int) *worker {
+func newWorker(idx int, st store.Store, view store.View, queueLen, maxBatch int, commitWait time.Duration) *worker {
 	w := &worker{
-		idx:      idx,
-		st:       st,
-		view:     view,
-		ordered:  st.Ordered(),
-		maxBatch: maxBatch,
-		reqs:     make(chan request, queueLen),
-		exited:   make(chan struct{}),
+		idx:        idx,
+		st:         st,
+		view:       view,
+		ordered:    st.Ordered(),
+		maxBatch:   maxBatch,
+		commitWait: commitWait,
+		ewma:       1,
+		reqs:       make(chan request, queueLen),
+		exited:     make(chan struct{}),
 	}
 	w.scrubber, _ = st.(store.ScrubRunner)
 	w.injector, _ = st.(store.FaultInjector)
@@ -275,12 +331,13 @@ func (w *worker) fastGetBatch(ops []BatchOp) ([]BatchResult, bool) {
 		w.fastFallbacks.Add(1)
 		return nil, false
 	}
-	res := make([]BatchResult, len(ops))
+	res := getBatchResults(len(ops))
 	hits := uint64(0)
 	for i, op := range ops {
 		v, ok, err := w.view.Get(op.K)
 		if err != nil {
 			w.gate.RUnlock()
+			putBatchResults(res)
 			if pangolin.ReadBusy(err) {
 				w.fastFallbacks.Add(1)
 			} else {
@@ -450,7 +507,7 @@ func scanCollect(m scanner, ordered bool, lo, hi uint64, max int) ([]Pair, error
 // blocking) channel send. stop() waits for registered senders after
 // flagging closed, so the channel is never closed under a send.
 func (w *worker) send(req request) chan response {
-	req.reply = make(chan response, 1)
+	req.reply = getReply()
 	w.mu.RLock()
 	if w.closed {
 		w.mu.RUnlock()
@@ -464,8 +521,14 @@ func (w *worker) send(req request) chan response {
 	return req.reply
 }
 
-// do enqueues req and waits for the response.
-func (w *worker) do(req request) response { return <-w.send(req) }
+// do enqueues req and waits for the response, recycling the reply
+// channel after its single receive.
+func (w *worker) do(req request) response {
+	ch := w.send(req)
+	r := <-ch
+	putReply(ch)
+	return r
+}
 
 // submit enqueues req for asynchronous completion: req.done is invoked
 // exactly once with the result — on the worker goroutine when the
@@ -491,10 +554,11 @@ func (w *worker) submit(req request) {
 // scheduler uses it so a scrub step can never back-pressure client
 // traffic — the reverse is the rule.
 func (w *worker) trySend(req request) (chan response, bool) {
-	req.reply = make(chan response, 1)
+	req.reply = getReply()
 	w.mu.RLock()
 	if w.closed {
 		w.mu.RUnlock()
+		putReply(req.reply)
 		return nil, false
 	}
 	w.senders.Add(1)
@@ -504,6 +568,7 @@ func (w *worker) trySend(req request) (chan response, bool) {
 	case w.reqs <- req:
 		return req.reply, true
 	default:
+		putReply(req.reply)
 		return nil, false
 	}
 }
@@ -609,9 +674,55 @@ func (w *worker) loop() {
 				break drain
 			}
 		}
+		// Adaptive group commit: when recent groups have been running
+		// deep (the queue is hot), the instantaneous drain above often
+		// catches requests mid-flight between the submitter and the
+		// queue. Waiting a bounded micro-window — scaled by the depth
+		// EWMA, capped by commitWait — lets those land and deepens the
+		// batch exactly when it pays: the per-commit transaction cost
+		// amortizes over more ops. Lockstep load keeps the EWMA near 1,
+		// so an idle connection's op commits with zero added latency.
+		if carry == nil && !hasBarrier && n < w.maxBatch && w.fullScrub == nil {
+			if win := w.commitWindow(); win > 0 {
+				w.commitWaits++
+				if w.waitTimer == nil {
+					w.waitTimer = time.NewTimer(win)
+				} else {
+					w.waitTimer.Reset(win)
+				}
+				fired := false
+			await:
+				for n < w.maxBatch {
+					select {
+					case r2, ok := <-w.reqs:
+						if !ok {
+							break await
+						}
+						if !groupable(r2.op) {
+							barrier, hasBarrier = r2, true
+							break await
+						}
+						if n+opCount(r2) > w.maxBatch {
+							r2 := r2
+							carry = &r2
+							break await
+						}
+						group = append(group, r2)
+						n += opCount(r2)
+					case <-w.waitTimer.C:
+						fired = true
+						break await
+					}
+				}
+				if !fired && !w.waitTimer.Stop() {
+					<-w.waitTimer.C
+				}
+			}
+		}
 		w.gate.Lock()
 		w.runGroup(group)
 		w.gate.Unlock()
+		w.ewma = 0.75*w.ewma + 0.25*float64(n)
 		w.scratch = group[:0]
 		if hasBarrier {
 			if barrier.op == opScrub {
@@ -701,9 +812,24 @@ func storeKind(kind uint8) (uint8, error) {
 	}
 }
 
-// flattenGroup lowers a group of requests into one store.Apply batch.
-func flattenGroup(group []request, total int) ([]store.Op, error) {
-	ops := make([]store.Op, 0, total)
+// commitWindow sizes the adaptive wait for the current group, from the
+// recent-depth EWMA: zero (no wait) until batches have actually been
+// forming (EWMA ≥ 2), then a window that grows with the typical depth,
+// capped at commitWait.
+func (w *worker) commitWindow() time.Duration {
+	if w.commitWait <= 0 || w.ewma < 2 {
+		return 0
+	}
+	win := time.Duration(float64(w.commitWait) * w.ewma / float64(w.maxBatch))
+	if win > w.commitWait {
+		win = w.commitWait
+	}
+	return win
+}
+
+// flattenGroup lowers a group of requests into one store.Apply batch,
+// appending to ops (the worker's reusable scratch).
+func flattenGroup(ops []store.Op, group []request) ([]store.Op, error) {
 	for _, r := range group {
 		switch r.op {
 		case opPut:
@@ -743,7 +869,9 @@ func (w *worker) runGroup(group []request) {
 		out := make([]BatchResult, 0, len(req.ops))
 		for start := 0; start < len(req.ops); start += w.maxBatch {
 			end := min(start+w.maxBatch, len(req.ops))
-			out = append(out, w.execBatchChunk(req.ops[start:end])...)
+			br := w.execBatchChunk(req.ops[start:end])
+			out = append(out, br...)
+			putBatchResults(br) // copied above; the chunk slice is free
 		}
 		req.deliver(response{batch: out})
 		return
@@ -768,11 +896,17 @@ func (w *worker) runGroup(group []request) {
 		}
 		return
 	}
-	ops, err := flattenGroup(group, total)
+	ops, err := flattenGroup(w.opsBuf[:0], group)
 	var results []store.Result
 	if err == nil {
 		results, err = w.st.Apply(ops)
 	}
+	// Apply consumes ops synchronously (the store contract), so the
+	// flatten scratch is free for the next group the moment it returns;
+	// results likewise stay valid only until the next Apply, which is
+	// fine — they are copied into responses below, before this worker
+	// touches the store again.
+	w.opsBuf = ops[:0]
 	if err == nil {
 		w.batches++
 		w.batchedOps += uint64(total)
@@ -789,7 +923,7 @@ func (w *worker) runGroup(group []request) {
 				resp = response{ok: results[ri].OK}
 				ri++
 			case opBatch:
-				br := make([]BatchResult, len(r.ops))
+				br := getBatchResults(len(r.ops))
 				for j := range r.ops {
 					br[j] = BatchResult{V: results[ri].V, OK: results[ri].OK}
 					ri++
@@ -823,15 +957,17 @@ func (w *worker) execBatchChunk(ops []BatchOp) []BatchResult {
 	if muts == 0 || len(ops) == 1 {
 		return w.handle(sub).batch
 	}
-	sops, err := flattenGroup([]request{sub}, len(ops))
+	w.oneReq[0] = sub
+	sops, err := flattenGroup(w.opsBuf[:0], w.oneReq[:])
 	var results []store.Result
 	if err == nil {
 		results, err = w.st.Apply(sops)
 	}
+	w.opsBuf = sops[:0]
 	if err == nil {
 		w.batches++
 		w.batchedOps += uint64(len(ops))
-		br := make([]BatchResult, len(ops))
+		br := getBatchResults(len(ops))
 		for i := range ops {
 			br[i] = BatchResult{V: results[i].V, OK: results[i].OK}
 		}
@@ -982,9 +1118,12 @@ func (w *worker) healPass() (pangolin.ScrubReport, error) {
 	}
 }
 
-// applyOne runs a single mutation as its own one-op store batch.
+// applyOne runs a single mutation as its own one-op store batch,
+// staged in the worker's inline scratch (the worker goroutine runs one
+// Apply at a time, so the array cannot be in use twice).
 func (w *worker) applyOne(op store.Op) (store.Result, error) {
-	results, err := w.st.Apply([]store.Op{op})
+	w.oneOp[0] = op
+	results, err := w.st.Apply(w.oneOp[:])
 	if err != nil {
 		return store.Result{}, err
 	}
@@ -1033,7 +1172,7 @@ func (w *worker) handle(req request) response {
 	case opBatch:
 		// Per-op execution of a batch request: each op on its own with
 		// its own verdict.
-		res := make([]BatchResult, len(req.ops))
+		res := getBatchResults(len(req.ops))
 		for i, op := range req.ops {
 			switch op.Kind {
 			case BatchPut:
@@ -1142,6 +1281,7 @@ func (w *worker) handle(req request) response {
 			Batches:        w.batches,
 			BatchedOps:     w.batchedOps,
 			GroupFallbacks: w.groupFallbacks,
+			CommitWaits:    w.commitWaits,
 			Scans:          w.scans,
 			ScanPairs:      w.scanPairs,
 			FastScans:      w.fastScans.Load(),

@@ -177,8 +177,9 @@ type Store struct {
 	vb      *store.VersionBuffer // pinned-snapshot version retention
 	merging bool                 // inside mergeStep's copy-forward Apply: no staging
 
-	buf     []byte  // Apply's encode buffer
-	offsBuf []int64 // Apply's per-record offset buffer
+	buf     []byte         // Apply's encode buffer
+	offsBuf []int64        // Apply's per-record offset buffer
+	resBuf  []store.Result // Apply's result scratch; valid until the next Apply
 
 	closed bool
 }

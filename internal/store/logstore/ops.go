@@ -92,7 +92,13 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 			return nil, fmt.Errorf("logstore: unknown op kind %d", op.Kind)
 		}
 	}
-	res := make([]store.Result, len(ops))
+	// The result slice is store-owned scratch (store.Store's Apply
+	// contract): valid until the next Apply, so the single owner
+	// goroutine reuses it across batches instead of allocating per call.
+	if cap(s.resBuf) < len(ops) {
+		s.resBuf = make([]store.Result, len(ops))
+	}
+	res := s.resBuf[:len(ops)]
 	if nData == 0 {
 		for i, op := range ops {
 			e, ok := s.idx[op.K]

@@ -49,6 +49,7 @@ type Store struct {
 	structure registry.Structure
 	scrubCfg  pangolin.ScrubberConfig
 	vb        *store.VersionBuffer // pinned-snapshot version retention
+	resBuf    []store.Result       // Apply's result scratch; valid until the next Apply
 }
 
 var (
@@ -173,7 +174,13 @@ func (s *Store) Apply(ops []store.Op) ([]store.Result, error) {
 			muts++
 		}
 	}
-	res := make([]store.Result, len(ops))
+	// Store-owned result scratch (store.Store's Apply contract: valid
+	// until the next Apply), reused across batches by the single owner
+	// goroutine. Every element is assigned before any return path below.
+	if cap(s.resBuf) < len(ops) {
+		s.resBuf = make([]store.Result, len(ops))
+	}
+	res := s.resBuf[:len(ops)]
 	recording := muts > 0 && s.vb.Recording()
 	if recording {
 		s.stagePreStates(ops)

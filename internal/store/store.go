@@ -124,6 +124,10 @@ type Store interface {
 	// batch observes the batch's earlier ops. On error nothing is
 	// applied and the returned results are nil; the shard worker then
 	// retries each op as its own single-op batch for per-op verdicts.
+	// The returned slice is scratch owned by the store, valid only until
+	// the next Apply on the same store: callers must copy out anything
+	// they retain past that point (the shard worker consumes results
+	// synchronously before its next store access, so this is free there).
 	Apply(ops []Op) ([]Result, error)
 	// Save persists the store durably (pangolin: the snapshot file;
 	// logstore: fsync segments). Called from the owner goroutine with no

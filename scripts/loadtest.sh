@@ -91,8 +91,10 @@
 # backup phase's pair count and peak versions_retained, the corruption
 # phase's scrub health (bg_repairs, scrub_steps, scrub_backoffs,
 # scrub_p99_ratio), the pipeline sweep's pipeline_speedup with both
-# group-commit means, and the logstore run's quarantined_segments; CI
-# uploads it with the phase reports and the backup artifacts.
+# group-commit means, the deep-pipeline run's client-side allocation
+# pressure (alloc_bytes_per_op, gc_pause_p99 — recorded, not gated),
+# and the logstore run's quarantined_segments; CI uploads it with the
+# phase reports and the backup artifacts.
 # MIN_SPEEDUP / MIN_READ_SPEEDUP fail the run when a ratio falls below
 # the bound (default 1.0 — the optimized path must never be slower; the
 # ISSUE-3 acceptance target for reads is 2.0, which holds on dedicated
@@ -394,6 +396,12 @@ LOGCOMPACTIONS=$(sed -n 's/.*"compactions": \([0-9]*\),.*/\1/p' "$WORKDIR/load-a
 # Segments a corrupt-record merge abort parked: data held back from
 # compaction — an operator signal, recorded so a regression shows up.
 LOGQUAR=$(sed -n 's/.*"quarantined_segments": \([0-9]*\),*.*/\1/p' "$WORKDIR/load-ab-logstore.json" | head -n 1)
+# Client-process allocation pressure on the deep-pipeline run, from
+# pglload's runtime/metrics bracket (alloc_bytes_per_op, gc_pause_p99 in
+# seconds). Recorded, not gated: single-core container numbers are for
+# trend-watching across PRs, like the other ratios.
+ALLOCPEROP=$(sed -n 's/.*"alloc_bytes_per_op": \([0-9.e+-]*\),*.*/\1/p' "$WORKDIR/load-pipe-deep.json" | head -n 1)
+GCPAUSEP99=$(sed -n 's/.*"gc_pause_p99": \([0-9.e+-]*\),*.*/\1/p' "$WORKDIR/load-pipe-deep.json" | head -n 1)
 awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEEDUP" \
     -v rs="${READSERIAL:-0}" -v rf="${READFAST:-0}" -v rfrac="$READ_FRAC" -v rmin="$MIN_READ_SPEEDUP" \
     -v fg="${FAST_GETS:-0}" -v so="${SCANOPS:-0}" -v sp="${SCANPAIRS:-0}" -v fs="${FAST_SCANS:-0}" \
@@ -404,7 +412,8 @@ awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEE
     -v abp="${ABPANGOLIN:-0}" -v abl="${ABLOGSTORE:-0}" \
     -v lsegs="${LOGSEGS:-0}" -v lcomp="${LOGCOMPACTIONS:-0}" \
     -v sno="${SNAPOPS:-0}" -v snp="${SNAPPAIRS:-0}" -v sne="${SNAPEVICT:-0}" \
-    -v bpr="${BACKUP_PAIRS:-0}" -v vr="${VERSIONS_RETAINED:-0}" -v lq="${LOGQUAR:-0}" 'BEGIN {
+    -v bpr="${BACKUP_PAIRS:-0}" -v vr="${VERSIONS_RETAINED:-0}" -v lq="${LOGQUAR:-0}" \
+    -v abo="${ALLOCPEROP:-0}" -v gcp="${GCPAUSEP99:-0}" 'BEGIN {
     s = (p > 0) ? b / p : 0
     r = (rs > 0) ? rf / rs : 0
     p99r = (sp99 > 0) ? scp99 / sp99 : 0
@@ -418,6 +427,7 @@ awk -v p="${PEROP:-0}" -v b="${BATCHOPS:-0}" -v batch="$BATCH" -v min="$MIN_SPEE
     printf "  \"backup_pairs\": %d,\n  \"versions_retained\": %d,\n", bpr, vr
     printf "  \"faults_injected\": %d,\n  \"bg_repairs\": %d,\n  \"scrub_steps\": %d,\n  \"scrub_backoffs\": %d,\n  \"scrub_p99_ratio\": %.2f,\n", fi, br, ss, sb, p99r
     printf "  \"pipe1_ops_per_sec\": %.1f,\n  \"pipe_deep_ops_per_sec\": %.1f,\n  \"pipe_depth\": %d,\n  \"pipeline_speedup\": %.2f,\n", p1, pd, pdepth, ps
+    printf "  \"alloc_bytes_per_op\": %.1f,\n  \"gc_pause_p99\": %.6f,\n", abo, gcp
     printf "  \"group_batch_mean_depth1\": %.2f,\n  \"group_batch_mean_deep\": %.2f,\n", g1, gd
     printf "  \"backend_pangolin_ops_per_sec\": %.1f,\n  \"backend_logstore_ops_per_sec\": %.1f,\n  \"backend_speedup\": %.2f,\n", abp, abl, bs
     printf "  \"logstore_segments\": %d,\n  \"logstore_compactions\": %d,\n  \"logstore_quarantined\": %d\n", lsegs, lcomp, lq

@@ -60,13 +60,21 @@ func WithProtocolV1() Option {
 // clientOp is one in-flight operation: its encoded request frame on the
 // way out, and its resolution (status+body or error) on the way back.
 // done closes exactly once, after which status/body/err are immutable.
+//
+// frame is pooled (see pool.go): submit owns it until the op lands on
+// sendq, the writer owns it from there and recycles it as soon as the
+// bytes reach the bufio layer. Nothing reads frame after that hand-off.
+// Reply bodies are copied out of the reader's reused frame buffer —
+// small ones into the op's inline array — so body is an owned copy,
+// valid forever.
 type clientOp struct {
 	seq     uint64
-	payload []byte
+	frame   *frameBuf // [len][seq?][request], ready for one Write
 	status  uint8
 	body    []byte // owned copy; valid forever
 	err     error
 	done    chan struct{}
+	bodyArr [24]byte // inline storage for small reply bodies (GET = 8 B)
 }
 
 // Client is a pipelined connection to a KV server. It is safe for
@@ -280,25 +288,34 @@ func (c *Client) fail(err error) {
 // immediately; it always resolves eventually.
 func (c *Client) submit(ctx context.Context, req Request) *clientOp {
 	op := &clientOp{done: make(chan struct{})}
+	f := getFrame()
+	b := beginFrame(f)
 	var err error
 	if c.v2 {
 		// Seq placeholder up front; patched once the seq is assigned.
-		op.payload, err = EncodeRequestSeq(make([]byte, 0, 24), 0, req)
+		b, err = EncodeRequestSeq(b, 0, req)
 	} else {
-		op.payload, err = EncodeRequest(make([]byte, 0, 16), req)
+		b, err = EncodeRequest(b, req)
 	}
 	if err != nil {
+		putFrame(f)
 		op.err = err
 		close(op.done)
 		return op
 	}
+	f.b = finishFrame(b)
+	op.frame = f
 	select {
 	case c.sem <- struct{}{}:
 	case <-c.fatal:
+		putFrame(f)
+		op.frame = nil
 		op.err = c.Err()
 		close(op.done)
 		return op
 	case <-ctx.Done():
+		putFrame(f)
+		op.frame = nil
 		op.err = fmt.Errorf("server: awaiting window slot: %w", ctx.Err())
 		close(op.done)
 		return op
@@ -308,6 +325,8 @@ func (c *Client) submit(ctx context.Context, req Request) *clientOp {
 		err := c.err
 		c.mu.Unlock()
 		<-c.sem
+		putFrame(f)
+		op.frame = nil
 		op.err = err
 		close(op.done)
 		return op
@@ -315,7 +334,7 @@ func (c *Client) submit(ctx context.Context, req Request) *clientOp {
 	op.seq = c.seq
 	c.seq++
 	if c.v2 {
-		binary.BigEndian.PutUint64(op.payload, op.seq)
+		binary.BigEndian.PutUint64(op.frame.b[frameHeaderLen:], op.seq)
 		c.pending[op.seq] = op
 	} else {
 		c.fifo = append(c.fifo, op)
@@ -328,13 +347,19 @@ func (c *Client) submit(ctx context.Context, req Request) *clientOp {
 // writeLoop is the connection's writer goroutine: it streams queued
 // frames to the wire, flushing whenever the queue goes empty so a lone
 // request never sits in the buffer while deep pipelines coalesce into
-// few syscalls.
+// few syscalls. Each frame (length prefix included, so it is a single
+// Write) returns to the pool the moment its bytes reach the bufio
+// layer; ops still queued when the connection dies just drop their
+// frames to the GC.
 func (c *Client) writeLoop() {
 	defer close(c.writerDone)
 	for {
 		select {
 		case op := <-c.sendq:
-			if err := WriteFrame(c.bw, op.payload); err != nil {
+			_, err := c.bw.Write(op.frame.b)
+			putFrame(op.frame)
+			op.frame = nil
+			if err != nil {
 				c.fail(err)
 				return
 			}
@@ -402,7 +427,16 @@ func (c *Client) readLoop() {
 		}
 		op.status = status
 		if len(body) > 0 {
-			op.body = append([]byte(nil), body...) // frame buffer is reused
+			// The frame buffer is reused for the next reply, so the body
+			// must be copied out; small bodies (GET values, status
+			// messages) land in the op's inline array instead of a fresh
+			// heap slice.
+			if len(body) <= len(op.bodyArr) {
+				op.body = op.bodyArr[:len(body)]
+				copy(op.body, body)
+			} else {
+				op.body = append([]byte(nil), body...)
+			}
 		}
 		if c.v2 {
 			op.err = statusError(status, body)

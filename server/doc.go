@@ -415,6 +415,61 @@
 // dependent one by waiting on its predecessor's reply (or future)
 // first. v1 connections keep strict request-order execution.
 //
+// # Buffer ownership
+//
+// Every hot-path wire buffer — v2 completion frames on the server,
+// request frames on the client — comes from one sync.Pool of frame
+// buffers (pool.go), laid out as [4-byte length][payload] so header and
+// payload leave in a single write. Recycling only works because frame
+// lifetime follows one rule on both sides:
+//
+//		getter → (optional worker callback) → connection writer → pool
+//
+//	  - Whoever fetches a frame (the reader's completion path on the
+//	    server, submit on the client) owns it exclusively while building
+//	    the payload, and transfers ownership by queueing it for the
+//	    connection's writer goroutine.
+//	  - The writer releases the frame back to the pool the moment its
+//	    bytes reach the bufio layer. From then on the memory may be
+//	    scribbled by anyone; nothing is allowed to retain a pointer into
+//	    a frame past the hand-off.
+//	  - Anything that must outlive the frame is copied out first. A
+//	    shard completion callback receives its GET value as a scalar and
+//	    encodes it into the completion frame it owns; the client's
+//	    readLoop copies each reply body out of the reused read buffer
+//	    (small bodies into an inline array) before resolving the op, so
+//	    values returned to callers are owned copies, valid forever —
+//	    never aliases into a buffer the next frame will overwrite.
+//
+// The same copy-out rule covers the layers below: store.Store.Apply
+// returns a result slice that is store-owned scratch, valid only until
+// the next Apply, and the shard worker consumes it synchronously before
+// touching the store again; the worker's []BatchResult slices are
+// pooled and recycled by the receiver after the single delivery.
+//
+// The contract is enforced, not just documented: the poisoned-frame
+// tortures (poison_test.go) scribble every released frame with 0xDB
+// while GET/MGET/SNAPSCAN storms verify returned values against a known
+// model under -race, so a retained alias fails deterministically.
+//
+// # Adaptive group commit
+//
+// A shard worker first drains whatever is already queued into one
+// group. When the queue has been running deep — the worker keeps an
+// EWMA of recent group depth, and the window engages once it reaches 2
+// — the worker then waits a bounded micro-window for requests still in
+// flight between the submitters and the queue, deepening the batch
+// exactly when traffic can fill it: per-commit costs (log persist,
+// fence, parity) amortize over more operations. The window is the
+// EWMA's fraction of the batch cap scaled into shard.Options.CommitWait
+// (default 100µs; pglserve -commit-wait), capped there, and skipped
+// entirely when the group is already full, a barrier op is pending, or
+// the load is lockstep (EWMA ~1) — an idle connection's single op
+// always commits immediately, so the knob trades at most CommitWait of
+// latency for depth only under pipelined load. STATS reports
+// commit_waits alongside batches/batched_ops so a run can show how
+// often the window engaged.
+//
 // # Client
 //
 // Dial(ctx, addr, opts...) returns a pipelined Client speaking v2 (or

@@ -308,6 +308,59 @@ func DecodeRequest(p []byte) (Request, error) {
 	return req, nil
 }
 
+// decodeRequestInto parses a request payload into *req, reusing the
+// capacity of req.Keys and req.Vals from the previous decode. The
+// decoded slices are valid only until the next decodeRequestInto on
+// the same req, so the caller must fully consume one request before
+// decoding the next — the synchronous v1 loop does. Concurrent
+// handlers (the v2 dispatch goroutines, which outlive the reader's
+// next frame) must keep using DecodeRequest, whose slices are freshly
+// allocated.
+func decodeRequestInto(p []byte, req *Request) error {
+	if len(p) < 1 {
+		return fmt.Errorf("server: empty request")
+	}
+	keys, vals := req.Keys[:0], req.Vals[:0]
+	*req = Request{Op: p[0]}
+	n, err := fieldCount(req.Op)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		stride := batchStride(req.Op)
+		if (len(p)-1)%stride != 0 {
+			return fmt.Errorf("server: op %d payload of %d bytes is not a whole number of %d-byte ops",
+				req.Op, len(p), stride)
+		}
+		count := (len(p) - 1) / stride
+		if err := checkBatchLen(req.Op, count); err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			off := 1 + i*stride
+			keys = append(keys, binary.BigEndian.Uint64(p[off:]))
+			if req.Op == OpMPut {
+				vals = append(vals, binary.BigEndian.Uint64(p[off+8:]))
+			}
+		}
+		req.Keys = keys
+		if req.Op == OpMPut {
+			req.Vals = vals
+		}
+		return nil
+	}
+	if len(p) != 1+8*n {
+		return fmt.Errorf("server: op %d wants %d bytes, got %d", req.Op, 1+8*n, len(p))
+	}
+	for i, f := range req.fields() {
+		if i >= n {
+			break
+		}
+		*f = binary.BigEndian.Uint64(p[1+8*i:])
+	}
+	return nil
+}
+
 // EncodeResponse appends a response payload to b: status, then body.
 func EncodeResponse(b []byte, status uint8, body []byte) []byte {
 	b = append(b, status)

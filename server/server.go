@@ -235,9 +235,20 @@ func (s *Server) serveConn(conn net.Conn) {
 // request at a time. first is the already-read opening frame. Requests
 // on a v1 connection are answered in order; concurrency comes from
 // concurrent connections.
+//
+// The loop owns three reusable per-connection buffers — the inbound
+// frame, the decoded request's key/value slices, and the outbound
+// frame (length prefix included, so each response is one Write) — so a
+// long-lived v1 connection's steady state allocates nothing in this
+// loop. The reuse is sound only because the loop is synchronous:
+// handleReq returns before the next decode overwrites the request's
+// slices, mirroring the pool's ownership contract (doc.go).
 func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, first []byte, cs *connSnaps) {
 	in := first
-	var out []byte
+	var (
+		out []byte
+		req Request
+	)
 	for {
 		if len(in) > 0 && in[0] == OpBackup {
 			// BACKUP streams multiple frames, which only the v1 loop's
@@ -254,8 +265,16 @@ func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, first []byte, cs *c
 			continue
 		}
 		var crashed bool
-		out, crashed = s.handle(out[:0], in, cs)
-		if err := WriteFrame(bw, out); err != nil {
+		out = append(out[:0], 0, 0, 0, 0)
+		if err := decodeRequestInto(in, &req); err != nil {
+			out = EncodeResponse(out, StatusErr, []byte(err.Error()))
+		} else {
+			out, crashed = s.handleReq(out, req, false, cs)
+		}
+		if len(out)-frameHeaderLen > MaxFrame {
+			return
+		}
+		if _, err := bw.Write(finishFrame(out)); err != nil {
 			return
 		}
 		// Flush eagerly unless the client has already pipelined more
@@ -280,10 +299,14 @@ func (s *Server) serveV1(br *bufio.Reader, bw *bufio.Writer, first []byte, cs *c
 	}
 }
 
-// completion is one finished v2 request on its way to the wire.
+// completion is one finished v2 request on its way to the wire. The
+// frame is pooled: it is owned by the completing goroutine until it
+// lands on the completions channel, then by the writer, which recycles
+// it the moment the bytes reach the bufio layer (see pool.go and the
+// ownership contract in doc.go).
 type completion struct {
-	payload []byte // seq + status + body
-	crash   bool   // a successful OpCrash: flush, then announce
+	f     *frameBuf // [len][seq + status + body], ready for one Write
+	crash bool      // a successful OpCrash: flush, then announce
 }
 
 // pipeConn is the per-connection state of a pipelined v2 session: the
@@ -301,9 +324,16 @@ type pipeConn struct {
 	inflight    sync.WaitGroup
 }
 
-// complete finishes one request with a status and body.
+// complete finishes one request with a status and body, encoding the
+// whole frame (length prefix, echoed sequence, status, body) into one
+// pooled buffer. body is copied, so callers may pass stack memory.
 func (pc *pipeConn) complete(seq uint64, status uint8, body []byte) {
-	pc.completeRaw(seq, EncodeResponse(nil, status, body), false)
+	f := getFrame()
+	b := appendU64(beginFrame(f), seq)
+	b = append(b, status)
+	b = append(b, body...)
+	f.b = finishFrame(b)
+	pc.push(f, false)
 }
 
 // completeErr finishes one request with a typed failure status.
@@ -311,42 +341,70 @@ func (pc *pipeConn) completeErr(seq uint64, err error) {
 	pc.complete(seq, errStatus(err), []byte(err.Error()))
 }
 
-// completeRaw finishes one request whose status+body payload is already
-// encoded, prepending the echoed sequence number.
-func (pc *pipeConn) completeRaw(seq uint64, resp []byte, crash bool) {
-	payload := appendU64(make([]byte, 0, 8+len(resp)), seq)
-	payload = append(payload, resp...)
-	pc.completions <- completion{payload: payload, crash: crash}
+// push hands a finished frame to the writer and retires the request
+// from the in-flight count. The frame is the writer's after this; the
+// completing goroutine must not touch it again.
+func (pc *pipeConn) push(f *frameBuf, crash bool) {
+	pc.completions <- completion{f: f, crash: crash}
 	pc.inflight.Done()
 }
 
 // writeLoop is the per-connection writer goroutine: it streams
 // completions to the wire in the order they land — which is completion
-// order, not request order — flushing whenever the queue goes empty,
-// and releases each completion's window slot once its reply is written.
-// A write error marks the connection dead but the loop keeps draining
-// (and discarding), so in-flight completion callbacks can never block
-// on a broken connection.
+// order, not request order. Ready completions coalesce: the inner loop
+// drains everything already queued into the bufio layer and pays one
+// Flush when the queue goes empty, so a burst of completions costs one
+// syscall, not one wakeup+flush each. Each completion's window slot is
+// released once its reply is written, and its frame returns to the
+// pool. A write error marks the connection dead but the loop keeps
+// draining (and discarding), so in-flight completion callbacks can
+// never block on a broken connection.
 func (pc *pipeConn) writeLoop(bw *bufio.Writer, done chan struct{}) {
 	defer close(done)
 	dead := false
 	for c := range pc.completions {
-		if !dead {
-			if err := WriteFrame(bw, c.payload); err != nil {
-				dead = true
-			} else if len(pc.completions) == 0 || c.crash {
-				if err := bw.Flush(); err != nil {
+		for {
+			if !dead {
+				if _, err := bw.Write(c.f.b); err != nil {
 					dead = true
 				}
 			}
+			crash := c.crash
+			putFrame(c.f)
+			if crash && !dead {
+				// As on the v1 path: announce only after the OK response
+				// is on the wire, so the requesting client sees its
+				// answer before the process owner starts killing
+				// connections.
+				if err := bw.Flush(); err != nil {
+					dead = true
+				} else {
+					pc.s.crashOnce.Do(func() { close(pc.s.crashed) })
+				}
+			}
+			<-pc.sem
+			var ok bool
+			select {
+			case c, ok = <-pc.completions:
+				if ok {
+					continue
+				}
+				// Channel closed while draining: everything is written,
+				// flush and exit.
+				if !dead {
+					bw.Flush()
+				}
+				return
+			default:
+			}
+			break
 		}
-		if c.crash && !dead {
-			// As on the v1 path: announce only after the OK response
-			// is on the wire, so the requesting client sees its answer
-			// before the process owner starts killing connections.
-			pc.s.crashOnce.Do(func() { close(pc.s.crashed) })
+		// Queue drained: one Flush covers the whole run of completions.
+		if !dead {
+			if err := bw.Flush(); err != nil {
+				dead = true
+			}
 		}
-		<-pc.sem
 	}
 }
 
@@ -453,22 +511,13 @@ func (s *Server) dispatch(pc *pipeConn, seq uint64, req Request, cs *connSnaps) 
 		})
 	default:
 		go func() {
-			out, crashed := s.handleReq(nil, req, true, cs)
-			pc.completeRaw(seq, out, crashed)
+			f := getFrame()
+			b := appendU64(beginFrame(f), seq)
+			b, crashed := s.handleReq(b, req, true, cs)
+			f.b = finishFrame(b)
+			pc.push(f, crashed)
 		}()
 	}
-}
-
-// handle executes one v1 request payload and appends the response
-// payload to out. The second result reports that this request was a
-// successful OpCrash, which the connection loop announces after
-// flushing.
-func (s *Server) handle(out, payload []byte, cs *connSnaps) ([]byte, bool) {
-	req, err := DecodeRequest(payload)
-	if err != nil {
-		return EncodeResponse(out, StatusErr, []byte(err.Error())), false
-	}
-	return s.handleReq(out, req, false, cs)
 }
 
 // handleReq executes one decoded request. typed selects the v2 failure
@@ -752,23 +801,31 @@ func (s *Server) handleScrub(out []byte, req Request, fail func(error) []byte) [
 	return EncodeResponse(out, StatusOK, body)
 }
 
+// batchOpsPool recycles the shard.BatchOp staging slice handleBatch
+// builds per MGET/MPUT/MDEL; Set.Batch consumes it before returning,
+// so the slice is free again by the time the response encodes.
+var batchOpsPool = sync.Pool{New: func() any { return new([]shard.BatchOp) }}
+
 // handleBatch executes one MGET/MPUT/MDEL. The ops are partitioned by
 // shard and each shard's slice commits as one transaction; the response
 // carries a per-op record in request order (see doc.go for the body
 // grammar).
 func (s *Server) handleBatch(out []byte, req Request) []byte {
-	ops := make([]shard.BatchOp, len(req.Keys))
+	opsp := batchOpsPool.Get().(*[]shard.BatchOp)
+	ops := (*opsp)[:0]
 	for i, k := range req.Keys {
 		switch req.Op {
 		case OpMGet:
-			ops[i] = shard.BatchOp{Kind: shard.BatchGet, K: k}
+			ops = append(ops, shard.BatchOp{Kind: shard.BatchGet, K: k})
 		case OpMPut:
-			ops[i] = shard.BatchOp{Kind: shard.BatchPut, K: k, V: req.Vals[i]}
+			ops = append(ops, shard.BatchOp{Kind: shard.BatchPut, K: k, V: req.Vals[i]})
 		case OpMDel:
-			ops[i] = shard.BatchOp{Kind: shard.BatchDel, K: k}
+			ops = append(ops, shard.BatchOp{Kind: shard.BatchDel, K: k})
 		}
 	}
 	res := s.set.Batch(ops)
+	*opsp = ops[:0]
+	batchOpsPool.Put(opsp)
 	out = append(out, StatusOK)
 	for _, r := range res {
 		switch {
